@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures
+through :mod:`repro.experiments`.  The evaluation context is shared
+across benchmarks so that boards, CoE models, request streams and
+profiled performance matrices are built once; each benchmark then
+measures the serving/evaluation work itself.
+
+Benchmarks run at a reduced request count by default so the whole suite
+finishes in a few minutes; set the environment variable
+``COSERVE_BENCH_FULL_SCALE=1`` to use the paper's full task sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.base import EvaluationContext, EvaluationSettings
+
+
+def _full_scale_requested() -> bool:
+    return os.environ.get("COSERVE_BENCH_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def settings() -> EvaluationSettings:
+    return EvaluationSettings(
+        full_scale=_full_scale_requested(),
+        reduced_requests=800,
+        devices=("numa", "uma"),
+        task_names=("A1", "A2", "B1", "B2"),
+    )
+
+
+@pytest.fixture(scope="session")
+def context(settings) -> EvaluationContext:
+    shared = EvaluationContext(settings)
+    # Warm the caches (boards, models, streams, performance matrices) so
+    # benchmarks measure the experiment itself, not one-time setup.
+    for device in settings.devices:
+        for task in settings.task_names:
+            shared.performance_matrix(device, task)
+            shared.stream(task)
+            shared.usage_profile(task)
+    return shared
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 1 (expert switching latency share)."""
+
+from repro.experiments import run_figure01
+
+from conftest import run_once
+
+
+def test_bench_figure01(benchmark, context):
+    """Regenerates Figure 1 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure01, context=context)
+    assert result.name == "Figure 1"
+    assert all(row['switching_share_%'] > 50 for row in result.rows)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (average latency vs batch size)."""
+
+from repro.experiments import run_figure05
+
+from conftest import run_once
+
+
+def test_bench_figure05(benchmark, context):
+    """Regenerates Figure 5 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure05, context=context)
+    assert result.name == "Figure 5"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (memory footprint vs batch size)."""
+
+from repro.experiments import run_figure06
+
+from conftest import run_once
+
+
+def test_bench_figure06(benchmark, context):
+    """Regenerates Figure 6 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure06, context=context)
+    assert result.name == "Figure 6"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 (CDF of expert usage)."""
+
+from repro.experiments import run_figure11
+
+from conftest import run_once
+
+
+def test_bench_figure11(benchmark, context):
+    """Regenerates Figure 11 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure11, context=context)
+    assert result.name == "Figure 11"
+    assert 0 <= max(row['actual_cdf'] for row in result.rows) <= 1.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 12 (execution latency vs batch size)."""
+
+from repro.experiments import run_figure12
+
+from conftest import run_once
+
+
+def test_bench_figure12(benchmark, context):
+    """Regenerates Figure 12 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure12, context=context)
+    assert result.name == "Figure 12"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 13 (throughput of CoServe and baselines)."""
+
+from repro.experiments import run_figure13
+
+from conftest import run_once
+
+
+def test_bench_figure13(benchmark, context):
+    """Regenerates Figure 13 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure13, context=context)
+    assert result.name == "Figure 13"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 14 (number of expert switches)."""
+
+from repro.experiments import run_figure14
+
+from conftest import run_once
+
+
+def test_bench_figure14(benchmark, context):
+    """Regenerates Figure 14 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure14, context=context)
+    assert result.name == "Figure 14"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 15 (ablation throughput breakdown)."""
+
+from repro.experiments import run_figure15
+
+from conftest import run_once
+
+
+def test_bench_figure15(benchmark, context):
+    """Regenerates Figure 15 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure15, context=context)
+    assert result.name == "Figure 15"
+    assert len(result.rows) > 0

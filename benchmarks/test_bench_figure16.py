@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 16 (ablation expert switch breakdown)."""
+
+from repro.experiments import run_figure16
+
+from conftest import run_once
+
+
+def test_bench_figure16(benchmark, context):
+    """Regenerates Figure 16 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure16, context=context)
+    assert result.name == "Figure 16"
+    assert len(result.rows) > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 17 (throughput vs number of executors)."""
+
+from repro.experiments import run_figure17
+
+from conftest import run_once
+
+
+def test_bench_figure17(benchmark, context):
+    """Regenerates Figure 17 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure17, context=context)
+    assert result.name == "Figure 17"
+    assert len(result.rows) > 0

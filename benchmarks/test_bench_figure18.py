@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 18 (decay-window memory allocation search)."""
+
+from repro.experiments import run_figure18
+
+from conftest import run_once
+
+
+def test_bench_figure18(benchmark, context):
+    """Regenerates Figure 18 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure18, context=context)
+    assert result.name == "Figure 18"
+    assert len(result.rows) > 0

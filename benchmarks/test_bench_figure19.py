@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 19 (request scheduling overhead)."""
+
+from repro.experiments import run_figure19
+
+from conftest import run_once
+
+
+def test_bench_figure19(benchmark, context):
+    """Regenerates Figure 19 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_figure19, context=context)
+    assert result.name == "Figure 19"
+    assert len(result.rows) > 0

@@ -1,0 +1,21 @@
+"""Per-system serving benchmarks.
+
+While the figure benchmarks time whole experiments, these benchmarks
+time a single serve() call per system on Task A1 (NUMA device), which
+is the granularity most useful when optimising the simulator or a
+policy implementation.
+"""
+
+import pytest
+
+from repro.serving.factory import SYSTEM_NAMES
+
+
+@pytest.mark.parametrize("system_name", SYSTEM_NAMES)
+def test_bench_serve_task_a1_numa(benchmark, context, system_name):
+    """Serve Task A1 on the NUMA device with one system."""
+    result = benchmark.pedantic(
+        context.serve, args=(system_name, "numa", "A1"), rounds=1, iterations=1
+    )
+    assert result.num_requests == len(context.stream("A1"))
+    assert result.throughput_rps > 0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (hardware specifications)."""
+
+from repro.experiments import run_table01
+
+from conftest import run_once
+
+
+def test_bench_table01(benchmark, context):
+    """Regenerates Table 1 and reports the wall time of the full experiment."""
+    result = run_once(benchmark, run_table01, context=context)
+    assert result.name == "Table 1"
+    assert len(result.rows) == 2

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Intelligent-manufacturing scenario: the paper's full evaluation, in miniature.
+
+Runs the four evaluation tasks (A1/A2/B1/B2) on both devices for the
+headline comparison (Figure 13/14) and the ablation study (Figure
+15/16), at a reduced request count so the whole script finishes in
+about a minute.  Pass ``--full-scale`` for the paper's 2,500/3,500
+request tasks.
+
+Run with:  python examples/circuit_board_inspection.py [--full-scale]
+"""
+
+import argparse
+
+from repro.experiments import run_figure13, run_figure15
+from repro.experiments.base import EvaluationContext, EvaluationSettings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full-scale", action="store_true", help="use the paper's request counts")
+    parser.add_argument("--requests", type=int, default=800, help="requests per task otherwise")
+    parser.add_argument("--devices", nargs="+", default=["numa", "uma"], choices=["numa", "uma"])
+    parser.add_argument("--tasks", nargs="+", default=["A1", "B1"], choices=["A1", "A2", "B1", "B2"])
+    arguments = parser.parse_args()
+
+    settings = EvaluationSettings(
+        full_scale=arguments.full_scale,
+        reduced_requests=arguments.requests,
+        devices=tuple(arguments.devices),
+        task_names=tuple(arguments.tasks),
+    )
+    context = EvaluationContext(settings)
+
+    print("Throughput of CoServe and the Samba-CoE baselines (Figure 13)")
+    print(run_figure13(context=context).to_text())
+    print()
+    print("Contribution of each CoServe optimisation (Figure 15)")
+    print(run_figure15(context=context).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Serving an LLM-style CoE (the Qihoo-360 scenario of §2.1) with CoServe.
+
+The circuit-board application is only one instance of a CoE model.  The
+paper notes (§7) that CoServe applies to any CoE as long as the routing
+module and expert models are provided.  This example builds a small
+LLM-style CoE — domain experts for code, math, law, medicine and a
+general fallback, each a multi-billion-parameter model — registers new
+expert architectures and their performance profiles on a custom
+GPU+CPU device, and serves a mixed prompt workload with CoServe and the
+Samba-CoE baseline.
+
+Run with:  python examples/llm_coe_serving.py
+"""
+
+import numpy as np
+
+from repro.coe.model import CoEModel
+from repro.coe.router import Router, RoutingRule
+from repro.experts.architecture import ExpertArchitecture, ExpertTask
+from repro.experts.expert import Expert, ExpertRole
+from repro.hardware.device import Device, DeviceArchitecture
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.memory import MemoryRegion, MemoryTier
+from repro.hardware.performance import DevicePerformanceModel, ExecutionProfile
+from repro.hardware.processor import Processor, ProcessorKind
+from repro.hardware.storage import StorageDevice
+from repro.hardware.units import GB, MB
+from repro.metrics.report import format_table
+from repro.serving import CoServeSystem, SambaCoESystem
+from repro.serving.base import ServingSystem
+from repro.workload.generator import RequestSpec, RequestStream
+
+#: Domains handled by the CoE, their relative request frequency, and
+#: whether an answer-verification expert runs afterwards.
+DOMAINS = {
+    "code": {"weight": 0.35, "verify": True},
+    "math": {"weight": 0.25, "verify": True},
+    "law": {"weight": 0.15, "verify": False},
+    "medicine": {"weight": 0.10, "verify": False},
+    "general": {"weight": 0.15, "verify": False},
+}
+
+
+def build_llm_device() -> Device:
+    """A workstation-class GPU box (24 GB GPU, 64 GB CPU memory)."""
+    gpu = Processor("Workstation GPU", ProcessorKind.GPU, MemoryTier.GPU, cores=128, peak_tflops=80)
+    cpu = Processor("Workstation CPU", ProcessorKind.CPU, MemoryTier.CPU, cores=32, peak_tflops=3)
+    profiles = {}
+    for name, (gpu_k, cpu_k) in {"domain-llm-3b": (90.0, 900.0), "verifier-llm-1b": (35.0, 350.0)}.items():
+        profiles[(name, ProcessorKind.GPU)] = ExecutionProfile(
+            k_ms=gpu_k, b_ms=2 * gpu_k, saturation_batch=8, saturation_penalty_ms=gpu_k / 10,
+            activation_bytes_per_sample=400 * MB, load_overhead_ms=40.0,
+        )
+        profiles[(name, ProcessorKind.CPU)] = ExecutionProfile(
+            k_ms=cpu_k, b_ms=cpu_k, saturation_batch=2, saturation_penalty_ms=cpu_k / 5,
+            activation_bytes_per_sample=250 * MB, load_overhead_ms=20.0,
+        )
+    return Device(
+        name="llm-workstation",
+        architecture=DeviceArchitecture.NUMA,
+        processors={ProcessorKind.GPU: gpu, ProcessorKind.CPU: cpu},
+        memory_regions={
+            MemoryTier.GPU: MemoryRegion("llm.gpu", MemoryTier.GPU, 24 * GB),
+            MemoryTier.CPU: MemoryRegion("llm.cpu", MemoryTier.CPU, 64 * GB),
+        },
+        storage=StorageDevice.from_mb_per_second("NVMe SSD", 3500.0),
+        interconnects={
+            (MemoryTier.CPU, MemoryTier.GPU): Interconnect.from_mb_per_second("pcie5", 12000.0, 4.0),
+            (MemoryTier.GPU, MemoryTier.CPU): Interconnect.from_mb_per_second("pcie5", 12000.0, 4.0),
+        },
+        performance=DevicePerformanceModel(profiles),
+        ssd_load_factor=2.0,
+    )
+
+
+def build_llm_coe() -> CoEModel:
+    """Domain experts (3B parameters) plus shared verification experts (1B)."""
+    # LLM experts ship FP16 weights (2 bytes per parameter), unlike the
+    # FP32 vision experts of the circuit-board application.
+    domain_architecture = ExpertArchitecture(
+        name="domain-llm-3b", task=ExpertTask.CLASSIFICATION,
+        parameters=3_000_000_000, weight_bytes=6 * GB,
+    )
+    verifier_architecture = ExpertArchitecture(
+        name="verifier-llm-1b", task=ExpertTask.CLASSIFICATION,
+        parameters=1_000_000_000, weight_bytes=2 * GB,
+    )
+    experts = {}
+    rules = []
+    verifier_id = "verify/shared"
+    experts[verifier_id] = Expert(verifier_id, verifier_architecture, ExpertRole.SUBSEQUENT,
+                                  description="answer verification")
+    for domain, spec in DOMAINS.items():
+        expert_id = f"llm/{domain}"
+        experts[expert_id] = Expert(expert_id, domain_architecture, ExpertRole.PRELIMINARY,
+                                    description=f"{domain} domain expert")
+        if spec["verify"]:
+            rules.append(RoutingRule(domain, (expert_id, verifier_id), (0.8,)))
+        else:
+            rules.append(RoutingRule(domain, (expert_id,)))
+    return CoEModel(name="qihoo-style-llm-coe", experts=experts, router=Router(rules))
+
+
+def build_prompt_stream(model: CoEModel, num_requests: int = 400, seed: int = 3) -> RequestStream:
+    """Prompts arrive every 200 ms, domains drawn from the traffic mix."""
+    rng = np.random.default_rng(seed)
+    domains = list(DOMAINS)
+    weights = np.array([DOMAINS[d]["weight"] for d in domains])
+    weights = weights / weights.sum()
+    specs = []
+    for request_id in range(num_requests):
+        domain = domains[int(rng.choice(len(domains), p=weights))]
+        specs.append(
+            RequestSpec(
+                request_id=request_id,
+                arrival_ms=request_id * 200.0,
+                category=domain,
+                realized_pipeline=model.router.resolve(domain, rng),
+            )
+        )
+    return RequestStream(
+        name="llm-prompts", requests=tuple(specs), arrival_interval_ms=200.0,
+        board_name="llm", seed=seed,
+    )
+
+
+def main() -> None:
+    device = build_llm_device()
+    model = build_llm_coe()
+    stream = build_prompt_stream(model)
+    usage = ServingSystem.usage_profile_from_stream(model, stream)
+    print(f"CoE model: {len(model)} experts, {model.total_weight_bytes / 1e9:.0f} GB of weights "
+          f"on a {device.region(MemoryTier.GPU).capacity_bytes / 1e9:.0f} GB GPU\n")
+
+    samba = SambaCoESystem.baseline(device, model, usage)
+    coserve = CoServeSystem(
+        device, model, usage,
+        gpu_executors=2, cpu_executors=1, gpu_expert_count=4,
+        scheduling_latency_ms=2.0, label="CoServe (LLM CoE)",
+    )
+    rows = []
+    for system in (samba, coserve):
+        result = system.serve(stream)
+        rows.append(
+            {
+                "system": result.system_name,
+                "throughput (prompts/s)": round(result.throughput_rps, 3),
+                "expert switches": result.expert_switches,
+                "avg prompt latency (ms)": round(result.average_request_latency_ms, 1),
+            }
+        )
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

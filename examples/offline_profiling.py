@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The offline phase (§4.4/§4.5): profiling, memory allocation and executor search.
+
+CoServe runs once per device before serving starts:
+
+1. microbenchmarks measure each expert architecture's latency curve
+   (K·n + B), maximum batch size, memory footprint and loading latency;
+2. expert usage probabilities are pre-assessed from the routing rules;
+3. the decay-window search picks how many experts to keep resident in
+   GPU memory (Figure 18);
+4. a sweep over executor counts picks the number of GPU/CPU executors
+   (Figure 17).
+
+Run with:  python examples/offline_profiling.py
+"""
+
+from repro.core.memory import DecayWindowSearch
+from repro.core.profiler import OfflineProfiler
+from repro.hardware.presets import make_numa_device
+from repro.hardware.processor import ProcessorKind
+from repro.metrics.report import format_table
+from repro.serving.base import ServingSystem
+from repro.serving.tuning import run_memory_allocation_search, sweep_executor_configurations
+from repro.workload import build_inspection_model, make_board_a
+from repro.workload.tasks import task_by_name
+
+
+def main() -> None:
+    device = make_numa_device()
+    board = make_board_a()
+    model = build_inspection_model(board)
+    profiler = OfflineProfiler(device, model)
+
+    # 1. Expert performance metrics (per architecture and processor).
+    matrix = profiler.build_performance_matrix()
+    rows = []
+    for architecture in matrix.architectures:
+        for processor in (ProcessorKind.GPU, ProcessorKind.CPU):
+            record = matrix.record(architecture, processor)
+            rows.append(
+                {
+                    "architecture": architecture,
+                    "processor": processor.value,
+                    "K (ms)": round(record.k_ms, 2),
+                    "B (ms)": round(record.b_ms, 2),
+                    "max batch": record.max_batch_size,
+                    "load from SSD (ms)": round(record.load_latency_from("ssd"), 0),
+                    "memory score": round(record.memory_score, 2),
+                }
+            )
+    print("Expert performance matrix (microbenchmarks)")
+    print(format_table(rows))
+
+    # 2. Pre-assessed usage probabilities from the routing rules.
+    usage = profiler.estimate_usage_profile(category_weights=board.quantity_weights())
+    print(f"\nTop-35 experts cover {usage.coverage(35) * 100:.1f}% of expert usage (Figure 11)")
+
+    # 3/4. Memory allocation and executor-count searches on a sample.
+    task = task_by_name("A1")
+    sample = task.sample_stream(1200, board=board, model=model)
+    sample_usage = ServingSystem.usage_profile_from_stream(model, sample)
+
+    allocation = run_memory_allocation_search(
+        device, model, sample_usage, sample,
+        search=DecayWindowSearch(initial_window=15, error_margin=0.05, seed=7),
+        performance_matrix=matrix,
+    )
+    print(
+        f"\nDecay-window search: keep {allocation.selected_count} experts resident in GPU memory "
+        f"(window [{allocation.window_lower}, {allocation.window_upper}], "
+        f"{allocation.selected_throughput:.1f} img/s on the sample)"
+    )
+
+    sweep = sweep_executor_configurations(
+        device, model, sample_usage, sample,
+        candidates=[(1, 1), (2, 1), (3, 1), (4, 1)],
+        gpu_expert_count=allocation.selected_count,
+        performance_matrix=matrix,
+    )
+    print("\nExecutor-count sweep (Figure 17)")
+    print(format_table([
+        {"executors": point.label, "throughput (img/s)": round(point.throughput_rps, 2)}
+        for point in sweep
+    ]))
+    best = max(sweep, key=lambda point: point.throughput_rps)
+    print(f"\nSelected configuration: {best.label} with {allocation.selected_count} resident GPU experts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Result analysis: speedups, switch reductions, and paper comparison.
+
+The experiment harness produces :class:`~repro.simulation.results.SimulationResult`
+objects; this subpackage turns collections of them into the derived
+quantities the paper reports (throughput improvement factors, expert
+switching reductions, ablation contributions) and compares them against
+the values published in the paper's figures.
+"""
+
+from repro.analysis.comparison import (
+    ablation_contributions,
+    speedup,
+    switch_reduction,
+    summarize_comparison,
+)
+from repro.analysis.paper_reference import (
+    PAPER_FIGURE13_THROUGHPUT,
+    PAPER_FIGURE14_SWITCHES,
+    PAPER_FIGURE15_THROUGHPUT,
+    PAPER_FIGURE16_SWITCHES,
+    paper_speedup_band,
+)
+
+__all__ = [
+    "speedup",
+    "switch_reduction",
+    "ablation_contributions",
+    "summarize_comparison",
+    "PAPER_FIGURE13_THROUGHPUT",
+    "PAPER_FIGURE14_SWITCHES",
+    "PAPER_FIGURE15_THROUGHPUT",
+    "PAPER_FIGURE16_SWITCHES",
+    "paper_speedup_band",
+]

@@ -1,0 +1,60 @@
+"""Derived comparison metrics over serving results."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.simulation.results import SimulationResult
+
+
+def speedup(candidate: SimulationResult, baseline: SimulationResult) -> float:
+    """Throughput improvement factor of ``candidate`` over ``baseline``."""
+    if baseline.throughput_rps <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return candidate.throughput_rps / baseline.throughput_rps
+
+
+def switch_reduction(candidate: SimulationResult, baseline: SimulationResult) -> float:
+    """Fractional reduction in expert switches of ``candidate`` vs ``baseline``.
+
+    Returns a value in [0, 1]; 0.93 means 93 % fewer switches.
+    """
+    if baseline.expert_switches <= 0:
+        return 0.0
+    return max(0.0, 1.0 - candidate.expert_switches / baseline.expert_switches)
+
+
+def ablation_contributions(results: Sequence[SimulationResult]) -> Dict[str, float]:
+    """Incremental throughput contribution of each ablation step.
+
+    ``results`` must be ordered from the unoptimised variant to the full
+    system (e.g. None, EM, EM+RA, CoServe).  The returned mapping gives
+    each step's multiplicative contribution; their product equals the
+    overall improvement of the last variant over the first.
+    """
+    if len(results) < 2:
+        raise ValueError("at least two results are required")
+    contributions: Dict[str, float] = {}
+    for previous, current in zip(results, results[1:]):
+        if previous.throughput_rps <= 0:
+            raise ValueError(f"non-positive throughput for '{previous.system_name}'")
+        contributions[current.system_name] = current.throughput_rps / previous.throughput_rps
+    return contributions
+
+
+def summarize_comparison(
+    results: Mapping[str, SimulationResult],
+    baseline_key: str,
+    candidate_key: str,
+) -> Dict[str, float]:
+    """One-line summary of a candidate system against a baseline."""
+    baseline = results[baseline_key]
+    candidate = results[candidate_key]
+    return {
+        "baseline_throughput_rps": round(baseline.throughput_rps, 2),
+        "candidate_throughput_rps": round(candidate.throughput_rps, 2),
+        "speedup": round(speedup(candidate, baseline), 2),
+        "baseline_switches": baseline.expert_switches,
+        "candidate_switches": candidate.expert_switches,
+        "switch_reduction_%": round(100 * switch_reduction(candidate, baseline), 1),
+    }

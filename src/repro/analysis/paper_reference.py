@@ -1,0 +1,95 @@
+"""Values reported in the paper's evaluation figures.
+
+These constants transcribe the numbers printed on the bars of the
+paper's Figures 13–16 (ASPLOS 2025 version).  They are used to compare
+reproduction results against the published results and to compute the
+paper's improvement bands; values not printed in the paper are derived
+from the printed speedup factors and marked as approximate in the
+docstrings of the helpers below.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+#: Figure 13 — CoServe Best / CoServe Casual throughput (img/s), and the
+#: speedup factors printed above the baseline bars
+#: (Samba-CoE, Samba-CoE FIFO, Samba-CoE Parallel).
+PAPER_FIGURE13_THROUGHPUT: Mapping[Tuple[str, str], Mapping[str, float]] = {
+    ("numa", "A1"): {"coserve_best": 26.3, "coserve_casual": 22.2, "speedups": (7.5, 9.4, 4.9)},
+    ("numa", "A2"): {"coserve_best": 28.7, "coserve_casual": 23.7, "speedups": (8.2, 9.0, 5.5)},
+    ("numa", "B1"): {"coserve_best": 27.2, "coserve_casual": 22.1, "speedups": (6.3, 10.5, 4.5)},
+    ("numa", "B2"): {"coserve_best": 29.6, "coserve_casual": 25.7, "speedups": (7.0, 9.5, 4.7)},
+    ("uma", "A1"): {"coserve_best": 24.5, "coserve_casual": 23.1, "speedups": (6.6, 10.2, 4.8)},
+    ("uma", "A2"): {"coserve_best": 27.6, "coserve_casual": 24.4, "speedups": (7.7, 12.0, 5.8)},
+    ("uma", "B1"): {"coserve_best": 24.1, "coserve_casual": 22.9, "speedups": (5.6, 9.3, 4.6)},
+    ("uma", "B2"): {"coserve_best": 27.6, "coserve_casual": 24.9, "speedups": (6.7, 10.6, 5.3)},
+}
+
+#: Figure 14 — expert switch counts per system
+#: (Samba-CoE, Samba-CoE FIFO, Samba-CoE Parallel, CoServe Best, CoServe Casual).
+PAPER_FIGURE14_SWITCHES: Mapping[Tuple[str, str], Tuple[int, int, int, int, int]] = {
+    ("numa", "A1"): (598, 817, 364, 64, 68),
+    ("numa", "A2"): (909, 1226, 513, 77, 78),
+    ("numa", "B1"): (485, 736, 287, 54, 66),
+    ("numa", "B2"): (725, 1060, 414, 65, 76),
+    ("uma", "A1"): (625, 866, 372, 76, 91),
+    ("uma", "A2"): (867, 1241, 534, 86, 111),
+    ("uma", "B1"): (521, 724, 293, 63, 90),
+    ("uma", "B2"): (720, 1083, 416, 73, 106),
+}
+
+#: Figure 15 — ablation throughput (CoServe None, EM, EM+RA, full).
+PAPER_FIGURE15_THROUGHPUT: Mapping[Tuple[str, str], Tuple[float, float, float, float]] = {
+    ("numa", "A1"): (4.5, 5.8, 11.8, 26.3),
+    ("numa", "A2"): (4.7, 6.0, 13.6, 28.7),
+    ("numa", "B1"): (5.5, 6.8, 12.6, 27.2),
+    ("numa", "B2"): (5.2, 6.7, 14.5, 29.6),
+    ("uma", "A1"): (4.3, 6.0, 10.9, 24.5),
+    ("uma", "A2"): (4.3, 5.8, 11.6, 27.6),
+    ("uma", "B1"): (4.4, 5.9, 12.5, 24.1),
+    ("uma", "B2"): (4.4, 5.7, 13.2, 27.6),
+}
+
+#: Figure 16 — ablation expert switch counts (CoServe None, EM, EM+RA, full).
+PAPER_FIGURE16_SWITCHES: Mapping[Tuple[str, str], Tuple[int, int, int, int]] = {
+    ("numa", "A1"): (413, 321, 173, 64),
+    ("numa", "A2"): (630, 460, 208, 77),
+    ("numa", "B1"): (371, 270, 157, 54),
+    ("numa", "B2"): (520, 387, 191, 65),
+    ("uma", "A1"): (499, 367, 182, 76),
+    ("uma", "A2"): (712, 528, 216, 86),
+    ("uma", "B1"): (417, 300, 150, 63),
+    ("uma", "B2"): (280, 435, 183, 73),
+}
+
+
+def paper_speedup_band(device: str) -> Tuple[float, float]:
+    """The min/max CoServe-over-baseline speedup the paper claims per device.
+
+    §5.2: "4.5x to 10.5x over the baselines on NUMA devices and 4.6x to
+    12x on UMA devices."
+    """
+    device = device.strip().lower()
+    if device == "numa":
+        return (4.5, 10.5)
+    if device == "uma":
+        return (4.6, 12.0)
+    raise ValueError(f"unknown device '{device}' (expected 'numa' or 'uma')")
+
+
+def paper_baseline_throughput(device: str, task: str) -> Dict[str, float]:
+    """Approximate baseline throughput derived from Figure 13's factors.
+
+    The paper prints the baselines' speedup factors rather than their
+    absolute bars; dividing CoServe Best's printed throughput by those
+    factors recovers the approximate baseline values.
+    """
+    entry = PAPER_FIGURE13_THROUGHPUT[(device.lower(), task.upper())]
+    best = entry["coserve_best"]
+    samba, fifo, parallel = entry["speedups"]
+    return {
+        "samba-coe": best / samba,
+        "samba-coe-fifo": best / fifo,
+        "samba-coe-parallel": best / parallel,
+    }

@@ -1,0 +1,33 @@
+"""Collaboration-of-Experts (CoE) model abstraction.
+
+A CoE model (Figure 2 of the paper) is a pool of independently trained
+expert models plus a routing module.  The routing module maps an
+incoming request to a *preliminary* expert; the output of that expert
+either produces the final result or selects a *subsequent* expert.
+
+Because the routing module is independent of the experts (user-defined
+rules or a separately trained router), a CoE serving system can know
+*in advance*:
+
+* the dependency relationships between experts (which subsequent
+  experts each preliminary expert can hand off to), and
+* the usage probability of every expert under the deployment's data
+  distribution.
+
+CoServe's scheduling and expert management are built on exactly these
+two pieces of information; this subpackage provides them.
+"""
+
+from repro.coe.router import Router, RoutingRule
+from repro.coe.dependency import DependencyGraph
+from repro.coe.model import CoEModel
+from repro.coe.probability import UsageProfile, compute_usage_profile
+
+__all__ = [
+    "Router",
+    "RoutingRule",
+    "DependencyGraph",
+    "CoEModel",
+    "UsageProfile",
+    "compute_usage_profile",
+]

@@ -1,0 +1,128 @@
+"""Expert dependency graph.
+
+*Expert dependency* is the property of CoE inference that CoServe
+exploits (§1, §3): subsequent experts in an inference pipeline rely on
+the output of earlier ones, and multiple preliminary experts can share
+the same subsequent expert (Figure 2's Expert *i*).
+
+The graph is directed: an edge ``preliminary -> subsequent`` means the
+subsequent expert may be invoked on the output of the preliminary
+expert.  The dependency-aware expert manager (§4.3) uses it to find
+subsequent experts whose preliminary experts are not resident — those
+are the stage-1 eviction candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set, Tuple
+
+import networkx as nx
+
+
+class DependencyGraph:
+    """Directed graph of preliminary -> subsequent expert dependencies."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_expert(self, expert_id: str) -> None:
+        """Ensure an expert exists as a node (no dependencies yet)."""
+        if not expert_id:
+            raise ValueError("expert_id must be non-empty")
+        self._graph.add_node(expert_id)
+
+    def add_dependency(self, preliminary: str, subsequent: str) -> None:
+        """Record that ``subsequent`` may run on the output of ``preliminary``."""
+        if preliminary == subsequent:
+            raise ValueError(f"expert '{preliminary}' cannot depend on itself")
+        self._graph.add_edge(preliminary, subsequent)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(preliminary, subsequent)
+            raise ValueError(
+                f"adding dependency {preliminary} -> {subsequent} would create a cycle"
+            )
+
+    @classmethod
+    def from_pipelines(cls, pipelines: Iterable[Tuple[str, ...]]) -> "DependencyGraph":
+        """Build a graph from routing pipelines (consecutive stages depend)."""
+        graph = cls()
+        for pipeline in pipelines:
+            previous = None
+            for expert_id in pipeline:
+                graph.add_expert(expert_id)
+                if previous is not None:
+                    graph.add_dependency(previous, expert_id)
+                previous = expert_id
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def expert_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._graph.nodes))
+
+    def __contains__(self, expert_id: str) -> bool:
+        return expert_id in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._graph.nodes))
+
+    def dependency_count(self) -> int:
+        """Number of preliminary -> subsequent edges."""
+        return self._graph.number_of_edges()
+
+    def preliminary_parents(self, expert_id: str) -> Tuple[str, ...]:
+        """Experts whose output ``expert_id`` depends on (direct predecessors)."""
+        self._require(expert_id)
+        return tuple(sorted(self._graph.predecessors(expert_id)))
+
+    def subsequent_children(self, expert_id: str) -> Tuple[str, ...]:
+        """Experts that may consume the output of ``expert_id``."""
+        self._require(expert_id)
+        return tuple(sorted(self._graph.successors(expert_id)))
+
+    def is_subsequent(self, expert_id: str) -> bool:
+        """Whether the expert depends on at least one preliminary expert."""
+        self._require(expert_id)
+        return self._graph.in_degree(expert_id) > 0
+
+    def is_preliminary(self, expert_id: str) -> bool:
+        """Whether the expert can be selected directly by the router."""
+        return not self.is_subsequent(expert_id)
+
+    def has_loaded_preliminary(self, expert_id: str, loaded: Set[str]) -> bool:
+        """Whether any preliminary parent of ``expert_id`` is in ``loaded``.
+
+        This is the predicate behind stage 1 of the dependency-aware
+        eviction strategy (Figure 10): a subsequent expert none of whose
+        preliminary parents are resident cannot be used soon, so it is
+        the best eviction candidate.
+        """
+        return any(parent in loaded for parent in self.preliminary_parents(expert_id))
+
+    def shared_subsequent_experts(self) -> Tuple[str, ...]:
+        """Subsequent experts shared by more than one preliminary expert."""
+        return tuple(
+            sorted(
+                node for node in self._graph.nodes if self._graph.in_degree(node) > 1
+            )
+        )
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """Experts in a valid execution order (preliminaries first)."""
+        return tuple(nx.topological_sort(self._graph))
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying networkx graph (for analysis/plotting)."""
+        return self._graph.copy()
+
+    def _require(self, expert_id: str) -> None:
+        if expert_id not in self._graph:
+            raise KeyError(f"expert '{expert_id}' is not in the dependency graph")

@@ -1,0 +1,93 @@
+"""Dependency-aware expert management (§4.3).
+
+When an expert must be loaded and the model pool is full, CoServe
+evicts residents in two stages (Figure 10):
+
+1. **Stage 1** — evict *subsequent* experts none of whose preliminary
+   experts are currently resident.  Such experts cannot run until their
+   preliminary experts are loaded first, so keeping them resident is
+   wasted memory.  Candidates are evicted in descending order of memory
+   footprint, which minimises the number of evictions needed.
+2. **Stage 2** — if stage 1 does not free enough memory, remaining
+   residents are evicted in ascending order of their pre-assessed usage
+   probability, keeping the experts most likely to be needed again.
+
+Unlike LRU/FIFO this never consults runtime history; everything it
+needs (the dependency graph and the usage probabilities) is known
+before serving starts because the CoE routing module is independent of
+the experts (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.coe.model import CoEModel
+from repro.coe.probability import UsageProfile
+from repro.policies.base import EvictionContext, EvictionPolicy
+
+
+class DependencyAwareEvictionPolicy(EvictionPolicy):
+    """CoServe's two-stage, dependency-aware eviction strategy."""
+
+    name = "dependency-aware"
+
+    def __init__(
+        self,
+        model: CoEModel,
+        usage_profile: UsageProfile,
+        protect_queued: bool = False,
+    ) -> None:
+        self._model = model
+        self._usage = usage_profile
+        self._protect_queued = protect_queued
+
+    def _memory_footprint(self, expert_id: str) -> int:
+        return self._model.expert(expert_id).weight_bytes
+
+    def _usage_probability(self, expert_id: str) -> float:
+        return self._usage.probability(expert_id, default=0.0)
+
+    def victim_order(self, context: EvictionContext) -> List[str]:
+        graph = self._model.dependencies
+        assert graph is not None
+        evictable = list(context.evictable())
+        resident: Set[str] = set(context.resident_expert_ids)
+
+        def queued_penalty(expert_id: str) -> int:
+            if not self._protect_queued:
+                return 0
+            return 1 if expert_id in context.queued_expert_ids else 0
+
+        stage_one: List[str] = []
+        stage_two: List[str] = []
+        for expert_id in evictable:
+            is_orphan_subsequent = (
+                expert_id in graph
+                and graph.is_subsequent(expert_id)
+                and not graph.has_loaded_preliminary(expert_id, resident)
+            )
+            if is_orphan_subsequent:
+                stage_one.append(expert_id)
+            else:
+                stage_two.append(expert_id)
+
+        # Stage 1: descending memory footprint (Figure 10, stage 1);
+        # experts still demanded by queued requests go last within the
+        # stage when queue protection is enabled.
+        stage_one.sort(
+            key=lambda expert_id: (
+                queued_penalty(expert_id),
+                -self._memory_footprint(expert_id),
+                expert_id,
+            )
+        )
+        # Stage 2: ascending pre-assessed usage probability.
+        stage_two.sort(
+            key=lambda expert_id: (
+                queued_penalty(expert_id),
+                self._usage_probability(expert_id),
+                expert_id,
+            )
+        )
+        return stage_one + stage_two

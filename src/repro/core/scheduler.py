@@ -1,0 +1,216 @@
+"""Dependency-aware request scheduling (§4.2).
+
+The scheduler performs four steps for every incoming stage job:
+
+1. **Prediction of additional inference latency** — execution latency is
+   predicted from the linear law ``K·n + B`` (a request joining an
+   existing same-expert group only costs ``K``); expert switching
+   latency is zero when the expert is resident or already demanded by a
+   queued request, otherwise the profiled loading latency from the
+   expert's current tier.
+2. **Request assigning** — the job goes to the executor queue that
+   minimises the *total* inference time (the maximum finish time over
+   all queues, Figure 8); ties are broken by the smallest additional
+   latency for the new job.
+3. **Request arranging** — within the chosen queue, the job is placed
+   right behind the last queued job that uses the same expert, so all
+   same-expert requests are processed together and the expert is loaded
+   at most once (Figure 9).
+4. **Request splitting** — the batch splitter bounds the executable
+   batch by the profiler's maximum batch size and by the batch the
+   executor's activation memory can hold.
+
+The assigning and arranging steps can be disabled individually, which
+is exactly how the ablation variants CoServe None / EM / EM+RA are
+built (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.coe.model import CoEModel
+from repro.core.config import PerformanceMatrix
+from repro.hardware.memory import MemoryTier
+from repro.hardware.processor import ProcessorKind
+from repro.simulation.executor import Executor
+from repro.simulation.interfaces import SchedulingPolicy
+from repro.simulation.request import StageJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import ServingSimulation
+
+
+class LatencyPredictor:
+    """Predicts the additional inference latency of scheduling decisions."""
+
+    def __init__(self, matrix: PerformanceMatrix, model: CoEModel) -> None:
+        self._matrix = matrix
+        self._model = model
+        self._simulation: Optional["ServingSimulation"] = None
+
+    def attach(self, simulation: "ServingSimulation") -> None:
+        self._simulation = simulation
+
+    def _expert_location_tier(self, executor: Executor, expert_id: str) -> str:
+        """Tier the expert would be loaded from if it is not resident."""
+        if self._simulation is None:
+            return MemoryTier.SSD.value
+        if self._simulation.host_cache is not None and self._simulation.host_cache.contains(expert_id):
+            return MemoryTier.CPU.value
+        for other in self._simulation.executors:
+            if other.pool is executor.pool:
+                continue
+            if other.pool.contains(expert_id):
+                return self._simulation.device.memory_tier_for(other.kind).value
+        return MemoryTier.SSD.value
+
+    def additional_latency_ms(self, executor: Executor, job: StageJob, now_ms: float) -> float:
+        """Predicted additional latency of appending ``job`` to ``executor``."""
+        expert = self._model.expert(job.expert_id)
+        record = self._matrix.record(expert.architecture_name, executor.kind)
+
+        joins_existing_group = executor.queue.contains_expert(job.expert_id)
+        if joins_existing_group:
+            execution = record.k_ms
+        else:
+            execution = record.k_ms + record.b_ms
+
+        switching = 0.0
+        if not joins_existing_group and not executor.pool.contains(job.expert_id):
+            source_tier = self._expert_location_tier(executor, job.expert_id)
+            switching = record.load_latency_from(
+                source_tier, default=record.load_latency_from(MemoryTier.SSD.value)
+            )
+        return execution + switching
+
+
+class BatchSplitter:
+    """Computes the current maximum executable batch size (§4.2)."""
+
+    def __init__(self, matrix: PerformanceMatrix, model: CoEModel) -> None:
+        self._matrix = matrix
+        self._model = model
+
+    def max_batch_size(self, executor: Executor, expert_id: str) -> int:
+        """Smaller of the profiled maximum and the memory-feasible batch."""
+        expert = self._model.expert(expert_id)
+        record = self._matrix.record(expert.architecture_name, executor.kind)
+        if record.activation_bytes_per_sample <= 0:
+            memory_limit = record.max_batch_size
+        else:
+            memory_limit = executor.activation_budget_bytes // record.activation_bytes_per_sample
+        return max(1, min(record.max_batch_size, int(memory_limit)))
+
+
+class CoServeScheduler(SchedulingPolicy):
+    """The dependency-aware inference request scheduler.
+
+    Parameters
+    ----------
+    matrix:
+        Profiled performance matrix (provides K, B, max batch sizes and
+        loading latencies).
+    model:
+        The CoE model being served.
+    scheduling_latency_ms:
+        Modelled CPU cost of one scheduling decision (Figure 19).
+    enable_assigning:
+        Use dependency-aware request assigning; when disabled, requests
+        are distributed round-robin (the CoServe None / EM / EM+RA
+        ablations).
+    enable_arranging:
+        Use request arranging (grouping same-expert requests); when
+        disabled, jobs are appended in arrival order.
+    enable_batching:
+        Use the batch splitter; when disabled every batch has size 1.
+    """
+
+    name = "coserve"
+
+    def __init__(
+        self,
+        matrix: PerformanceMatrix,
+        model: CoEModel,
+        scheduling_latency_ms: float = 0.0,
+        enable_assigning: bool = True,
+        enable_arranging: bool = True,
+        enable_batching: bool = True,
+    ) -> None:
+        if scheduling_latency_ms < 0:
+            raise ValueError("scheduling_latency_ms must be non-negative")
+        self._predictor = LatencyPredictor(matrix, model)
+        self._splitter = BatchSplitter(matrix, model)
+        self._scheduling_latency_ms = scheduling_latency_ms
+        self.enable_assigning = enable_assigning
+        self.enable_arranging = enable_arranging
+        self.enable_batching = enable_batching
+        self._round_robin_cursor = 0
+
+    # ------------------------------------------------------------------
+    # SchedulingPolicy interface
+    # ------------------------------------------------------------------
+    def attach(self, simulation: "ServingSimulation") -> None:
+        self._predictor.attach(simulation)
+
+    def reset(self) -> None:
+        self._round_robin_cursor = 0
+
+    def scheduling_latency_ms(self, job: StageJob, now_ms: float) -> float:
+        return self._scheduling_latency_ms
+
+    def predicted_additional_latency_ms(
+        self, executor: Executor, job: StageJob, now_ms: float
+    ) -> float:
+        return self._predictor.additional_latency_ms(executor, job, now_ms)
+
+    def select_executor(
+        self, job: StageJob, executors: Sequence[Executor], now_ms: float
+    ) -> Executor:
+        if not self.enable_assigning:
+            executor = executors[self._round_robin_cursor % len(executors)]
+            self._round_robin_cursor += 1
+            return executor
+        return self._assign_by_total_inference_time(job, executors, now_ms)
+
+    def insertion_index(self, executor: Executor, job: StageJob, now_ms: float) -> int:
+        if not self.enable_arranging:
+            return len(executor.queue)
+        grouped_index = executor.queue.index_after_last(job.expert_id)
+        if grouped_index is None:
+            return len(executor.queue)
+        return grouped_index
+
+    def max_batch_size(self, executor: Executor, expert_id: str) -> int:
+        if not self.enable_batching:
+            return 1
+        return self._splitter.max_batch_size(executor, expert_id)
+
+    # ------------------------------------------------------------------
+    # Request assigning (Figure 8)
+    # ------------------------------------------------------------------
+    def _assign_by_total_inference_time(
+        self, job: StageJob, executors: Sequence[Executor], now_ms: float
+    ) -> Executor:
+        finish_times = {
+            executor.name: executor.estimated_finish_ms(now_ms) for executor in executors
+        }
+        additional = {
+            executor.name: self._predictor.additional_latency_ms(executor, job, now_ms)
+            for executor in executors
+        }
+
+        best_executor: Optional[Executor] = None
+        best_key: Optional[tuple] = None
+        for executor in executors:
+            others_max = max(
+                (finish_times[other.name] for other in executors if other is not executor),
+                default=0.0,
+            )
+            candidate_total = max(others_max, finish_times[executor.name] + additional[executor.name])
+            key = (candidate_total, additional[executor.name], executor.name)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_executor = executor
+        assert best_executor is not None
+        return best_executor

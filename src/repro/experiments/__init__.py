@@ -1,0 +1,63 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment module exposes a ``run_*`` function that regenerates
+the corresponding table or figure as an :class:`ExperimentResult` — the
+same rows/series the paper reports, printed as text tables instead of
+plots.  The ``coserve-experiments`` console script (``repro.experiments.cli``)
+runs them from the command line.
+
+Experiments default to a scaled-down request count so the whole harness
+finishes quickly; pass ``full_scale=True`` (or ``--full-scale`` on the
+CLI) to use the paper's request counts (2,500 / 3,500 per task).
+"""
+
+from repro.experiments.base import ExperimentResult, EvaluationSettings
+from repro.experiments.table01 import run_table01
+from repro.experiments.figure01 import run_figure01
+from repro.experiments.figure05 import run_figure05
+from repro.experiments.figure06 import run_figure06
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.figure12 import run_figure12
+from repro.experiments.figure13 import run_figure13
+from repro.experiments.figure14 import run_figure14
+from repro.experiments.figure15 import run_figure15
+from repro.experiments.figure16 import run_figure16
+from repro.experiments.figure17 import run_figure17
+from repro.experiments.figure18 import run_figure18
+from repro.experiments.figure19 import run_figure19
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS = {
+    "table01": run_table01,
+    "figure01": run_figure01,
+    "figure05": run_figure05,
+    "figure06": run_figure06,
+    "figure11": run_figure11,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "figure14": run_figure14,
+    "figure15": run_figure15,
+    "figure16": run_figure16,
+    "figure17": run_figure17,
+    "figure18": run_figure18,
+    "figure19": run_figure19,
+}
+
+__all__ = [
+    "ExperimentResult",
+    "EvaluationSettings",
+    "EXPERIMENTS",
+    "run_table01",
+    "run_figure01",
+    "run_figure05",
+    "run_figure06",
+    "run_figure11",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure15",
+    "run_figure16",
+    "run_figure17",
+    "run_figure18",
+    "run_figure19",
+]

@@ -1,0 +1,172 @@
+"""Shared infrastructure for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coe.model import CoEModel
+from repro.coe.probability import UsageProfile
+from repro.core.config import PerformanceMatrix
+from repro.core.profiler import OfflineProfiler
+from repro.hardware.device import Device
+from repro.hardware.presets import make_device
+from repro.metrics.report import format_table
+from repro.serving.base import ServingSystem
+from repro.serving.factory import build_system
+from repro.simulation.results import SimulationResult
+from repro.workload.circuit_board import CircuitBoard
+from repro.workload.generator import RequestStream
+from repro.workload.tasks import Task, standard_tasks
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows regenerating one of the paper's tables or figures."""
+
+    name: str
+    description: str
+    rows: Tuple[Mapping[str, object], ...]
+    columns: Tuple[str, ...] = ()
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Render the result the way the harness prints it."""
+        header = f"{self.name}: {self.description}"
+        table = format_table(list(self.rows), list(self.columns))
+        parts = [header, "=" * len(header), table]
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, key: str) -> List[object]:
+        """Extract one column across all rows."""
+        return [row.get(key) for row in self.rows]
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Workload scaling knobs shared by the serving experiments.
+
+    The paper's tasks use 2,500 / 3,500 requests; the default harness
+    scales that down so every figure regenerates in seconds.  Results at
+    both scales show the same ordering and similar ratios.
+    """
+
+    full_scale: bool = False
+    reduced_requests: int = 1000
+    devices: Tuple[str, ...] = ("numa", "uma")
+    task_names: Tuple[str, ...] = ("A1", "A2", "B1", "B2")
+
+    def requests_for(self, task: Task) -> int:
+        if self.full_scale:
+            return task.num_requests
+        return min(task.num_requests, self.reduced_requests)
+
+
+class EvaluationContext:
+    """Caches boards, models, streams and profiled matrices across runs.
+
+    Building the circuit-board CoE model and profiling a device are the
+    expensive parts of every serving experiment; one figure typically
+    needs the same (device, task) pairs several times, so the context
+    memoises them.
+    """
+
+    def __init__(self, settings: Optional[EvaluationSettings] = None) -> None:
+        self.settings = settings or EvaluationSettings()
+        self._devices: Dict[str, Device] = {}
+        self._matrices: Dict[Tuple[str, str], PerformanceMatrix] = {}
+        self._task_data: Dict[str, Tuple[CircuitBoard, CoEModel]] = {}
+        self._streams: Dict[Tuple[str, int], RequestStream] = {}
+        self._usage: Dict[Tuple[str, int], UsageProfile] = {}
+
+    # ------------------------------------------------------------------
+    # Cached artefacts
+    # ------------------------------------------------------------------
+    def device(self, architecture: str) -> Device:
+        if architecture not in self._devices:
+            self._devices[architecture] = make_device(architecture)
+        return self._devices[architecture]
+
+    def task(self, name: str) -> Task:
+        for task in standard_tasks():
+            if task.name == name:
+                return task
+        raise KeyError(f"unknown task '{name}'")
+
+    def board_and_model(self, task_name: str) -> Tuple[CircuitBoard, CoEModel]:
+        if task_name not in self._task_data:
+            task = self.task(task_name)
+            board = task.board()
+            self._task_data[task_name] = (board, task.model(board))
+        return self._task_data[task_name]
+
+    def stream(self, task_name: str, num_requests: Optional[int] = None) -> RequestStream:
+        task = self.task(task_name)
+        count = num_requests or self.settings.requests_for(task)
+        key = (task_name, count)
+        if key not in self._streams:
+            board, model = self.board_and_model(task_name)
+            self._streams[key] = task.request_stream(board, model, num_requests=count)
+        return self._streams[key]
+
+    def usage_profile(self, task_name: str, num_requests: Optional[int] = None) -> UsageProfile:
+        task = self.task(task_name)
+        count = num_requests or self.settings.requests_for(task)
+        key = (task_name, count)
+        if key not in self._usage:
+            _, model = self.board_and_model(task_name)
+            self._usage[key] = ServingSystem.usage_profile_from_stream(model, self.stream(task_name, count))
+        return self._usage[key]
+
+    def performance_matrix(self, architecture: str, task_name: str) -> PerformanceMatrix:
+        key = (architecture, task_name)
+        if key not in self._matrices:
+            _, model = self.board_and_model(task_name)
+            profiler = OfflineProfiler(self.device(architecture), model)
+            self._matrices[key] = profiler.build_performance_matrix()
+        return self._matrices[key]
+
+    # ------------------------------------------------------------------
+    # Serving runs
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        system_name: str,
+        device_architecture: str,
+        task_name: str,
+        **overrides,
+    ) -> SimulationResult:
+        """Serve one task with one system on one device."""
+        device = self.device(device_architecture)
+        _, model = self.board_and_model(task_name)
+        system = build_system(
+            system_name,
+            device,
+            model,
+            self.usage_profile(task_name),
+            performance_matrix=self.performance_matrix(device_architecture, task_name),
+            **overrides,
+        )
+        return system.serve(self.stream(task_name))
+
+
+#: Systems compared in Figures 13 and 14, in the paper's plotting order.
+COMPARISON_SYSTEMS: Tuple[str, ...] = (
+    "samba-coe",
+    "samba-coe-fifo",
+    "samba-coe-parallel",
+    "coserve-best",
+    "coserve-casual",
+)
+
+#: Ablation variants compared in Figures 15 and 16.
+ABLATION_SYSTEMS: Tuple[str, ...] = (
+    "coserve-none",
+    "coserve-em",
+    "coserve-em-ra",
+    "coserve",
+)

@@ -1,0 +1,97 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples
+--------
+Run everything at reduced scale::
+
+    coserve-experiments --all
+
+Run specific experiments at the paper's full request counts::
+
+    coserve-experiments figure13 figure14 --full-scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.base import EvaluationContext, EvaluationSettings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coserve-experiments",
+        description="Regenerate the tables and figures of the CoServe paper (ASPLOS 2025).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"Experiments to run, out of: {', '.join(sorted(EXPERIMENTS))}. "
+        "Default (or with --all): every experiment.",
+    )
+    parser.add_argument("--all", action="store_true", help="Run every experiment.")
+    parser.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="Use the paper's full request counts (2,500/3,500 per task) instead of the "
+        "reduced default.",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="Request count per task when not running at full scale (default: 1000).",
+    )
+    parser.add_argument(
+        "--devices",
+        nargs="+",
+        default=["numa", "uma"],
+        choices=["numa", "uma"],
+        help="Devices to evaluate (default: both).",
+    )
+    parser.add_argument(
+        "--tasks",
+        nargs="+",
+        default=["A1", "A2", "B1", "B2"],
+        choices=["A1", "A2", "B1", "B2"],
+        help="Tasks to evaluate (default: all four).",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+
+    names: List[str] = list(arguments.experiments)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
+    if arguments.all or not names:
+        names = sorted(EXPERIMENTS)
+
+    settings = EvaluationSettings(
+        full_scale=arguments.full_scale,
+        reduced_requests=arguments.requests,
+        devices=tuple(arguments.devices),
+        task_names=tuple(arguments.tasks),
+    )
+    context = EvaluationContext(settings)
+
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](context=context)
+        elapsed = time.perf_counter() - start
+        print(result.to_text())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Figure 5: average inference latency vs batch size (GPU and CPU)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.profiler import OfflineProfiler
+from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.hardware.processor import ProcessorKind
+
+DEFAULT_BATCH_SIZES = tuple(range(1, 33))
+
+
+def run_figure05(
+    settings: Optional[EvaluationSettings] = None,
+    context: Optional[EvaluationContext] = None,
+    architecture: str = "resnet101",
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> ExperimentResult:
+    """Regenerate Figure 5 (average latency vs batch size)."""
+    context = context or EvaluationContext(settings)
+    rows = []
+    for device_name in ("numa", "uma"):
+        device = context.device(device_name)
+        _, model = context.board_and_model("A1")
+        profiler = OfflineProfiler(device, model)
+        for processor in (ProcessorKind.GPU, ProcessorKind.CPU):
+            sweep = profiler.sweep(architecture, processor, batch_sizes)
+            best = sweep.best_batch_size()
+            for batch, average in zip(sweep.batch_sizes, sweep.average_latency_ms):
+                rows.append(
+                    {
+                        "device": device_name.upper(),
+                        "processor": processor.value.upper(),
+                        "batch_size": batch,
+                        "avg_latency_ms": round(average, 2),
+                        "is_best_batch": batch == best,
+                    }
+                )
+    return ExperimentResult(
+        name="Figure 5",
+        description=f"Average inference latency vs batch size ({architecture})",
+        rows=tuple(rows),
+        columns=("device", "processor", "batch_size", "avg_latency_ms", "is_best_batch"),
+        notes="Paper: average latency falls with batch size, then plateaus/rises "
+        "(best around batch 6 on the UMA GPU and 5 on the UMA CPU).",
+    )

@@ -1,0 +1,54 @@
+"""Figure 12: execution latency vs batch size (the K·n + B curves)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.profiler import OfflineProfiler
+from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.hardware.processor import ProcessorKind
+
+DEFAULT_BATCH_SIZES = tuple(range(1, 33))
+DEFAULT_ARCHITECTURES = ("resnet101", "yolov5m")
+
+
+def run_figure12(
+    settings: Optional[EvaluationSettings] = None,
+    context: Optional[EvaluationContext] = None,
+    architectures: Sequence[str] = DEFAULT_ARCHITECTURES,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+) -> ExperimentResult:
+    """Regenerate Figure 12 (execution latency vs batch size)."""
+    context = context or EvaluationContext(settings)
+    rows = []
+    fitted = []
+    for device_name in ("numa", "uma"):
+        device = context.device(device_name)
+        _, model = context.board_and_model("A1")
+        profiler = OfflineProfiler(device, model)
+        matrix = profiler.build_performance_matrix(batch_sizes)
+        for architecture in architectures:
+            for processor in (ProcessorKind.CPU, ProcessorKind.GPU):
+                sweep = profiler.sweep(architecture, processor, batch_sizes)
+                record = matrix.record(architecture, processor)
+                fitted.append(
+                    f"{device_name.upper()} {architecture} {processor.value}: "
+                    f"K={record.k_ms:.1f} ms, B={record.b_ms:.1f} ms"
+                )
+                for batch, latency in zip(sweep.batch_sizes, sweep.execution_latency_ms):
+                    rows.append(
+                        {
+                            "device": device_name.upper(),
+                            "processor": processor.value.upper(),
+                            "expert": architecture,
+                            "batch_size": batch,
+                            "latency_ms": round(latency, 2),
+                        }
+                    )
+    return ExperimentResult(
+        name="Figure 12",
+        description="Execution latency vs batch size",
+        rows=tuple(rows),
+        columns=("device", "processor", "expert", "batch_size", "latency_ms"),
+        notes="Fitted linear-latency constants used by the scheduler:\n" + "\n".join(fitted),
+    )

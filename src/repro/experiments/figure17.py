@@ -1,0 +1,68 @@
+"""Figure 17: throughput under different numbers of executors."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.serving.tuning import sweep_executor_configurations
+
+#: Executor-count candidates of the paper (xG+yC).
+DEFAULT_CANDIDATES: Tuple[Tuple[int, int], ...] = (
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (4, 1),
+    (5, 1),
+    (4, 2),
+)
+
+
+def run_figure17(
+    settings: Optional[EvaluationSettings] = None,
+    context: Optional[EvaluationContext] = None,
+    candidates: Sequence[Tuple[int, int]] = DEFAULT_CANDIDATES,
+    sample_size: int = 2000,
+) -> ExperimentResult:
+    """Regenerate Figure 17 (offline executor-count measurements).
+
+    The paper runs these measurements on a portion of the data during
+    the offline phase; ``sample_size`` controls the size of that sample.
+    """
+    context = context or EvaluationContext(settings)
+    rows = []
+    for device_name in context.settings.devices:
+        device = context.device(device_name)
+        # Measurement A uses board A, Measurement B uses board B (§5.3).
+        for measurement, task_name in (("Measurement A", "A1"), ("Measurement B", "B1")):
+            _, model = context.board_and_model(task_name)
+            task = context.task(task_name)
+            board, _ = context.board_and_model(task_name)
+            sample = task.sample_stream(sample_size, board=board, model=model)
+            points = sweep_executor_configurations(
+                device,
+                model,
+                context.usage_profile(task_name),
+                sample,
+                candidates,
+                performance_matrix=context.performance_matrix(device_name, task_name),
+            )
+            best_label = max(points, key=lambda point: point.throughput_rps).label
+            for point in points:
+                rows.append(
+                    {
+                        "device": device_name.upper(),
+                        "measurement": measurement,
+                        "executors": point.label,
+                        "throughput_img_per_s": round(point.throughput_rps, 2),
+                        "is_best": point.label == best_label,
+                    }
+                )
+    return ExperimentResult(
+        name="Figure 17",
+        description="Throughput under different numbers of executors (G=GPU, C=CPU)",
+        rows=tuple(rows),
+        columns=("device", "measurement", "executors", "throughput_img_per_s", "is_best"),
+        notes="Paper: 3-4 GPU executors plus 1 CPU executor perform best; fewer executors "
+        "under-utilise the device, more add overhead.",
+    )

@@ -1,0 +1,34 @@
+"""Expert models.
+
+A CoE "expert" is an independently trained model specialised for one
+sub-task (§2.1).  In the circuit-board inspection application each
+component type has a dedicated ResNet101 classification expert, and
+some component types additionally route to a shared YOLOv5m or YOLOv5l
+object-detection expert (§5.1).
+
+Experts of the same architecture share computational complexity (and
+hence a performance profile), but each expert instance has its own
+weights and therefore its own memory footprint and loading cost.
+"""
+
+from repro.experts.architecture import ExpertArchitecture, ExpertTask
+from repro.experts.registry import (
+    ArchitectureRegistry,
+    default_registry,
+    RESNET101,
+    YOLOV5M,
+    YOLOV5L,
+)
+from repro.experts.expert import Expert, ExpertRole
+
+__all__ = [
+    "ExpertArchitecture",
+    "ExpertTask",
+    "ArchitectureRegistry",
+    "default_registry",
+    "RESNET101",
+    "YOLOV5M",
+    "YOLOV5L",
+    "Expert",
+    "ExpertRole",
+]

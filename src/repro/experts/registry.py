@@ -1,0 +1,83 @@
+"""Registry of known expert architectures.
+
+The circuit-board inspection CoE model uses three architectures (§5.1):
+ResNet101 for per-component defect classification, and YOLOv5m /
+YOLOv5l for alignment and soldering-direction detection.  Additional
+architectures can be registered for other CoE applications (e.g. the
+Qihoo-360-style LLM CoE in the examples).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.experts.architecture import ExpertArchitecture, ExpertTask
+
+#: ResNet101: 44.5 M parameters, ~178 MB of FP32 weights.
+RESNET101 = ExpertArchitecture.from_parameters(
+    name="resnet101",
+    task=ExpertTask.CLASSIFICATION,
+    parameters=44_549_160,
+    gflops_per_sample=7.8,
+)
+
+#: YOLOv5m: 21.2 M parameters, ~85 MB of FP32 weights.
+YOLOV5M = ExpertArchitecture.from_parameters(
+    name="yolov5m",
+    task=ExpertTask.DETECTION,
+    parameters=21_172_173,
+    gflops_per_sample=49.0,
+)
+
+#: YOLOv5l: 46.5 M parameters, ~186 MB of FP32 weights.
+YOLOV5L = ExpertArchitecture.from_parameters(
+    name="yolov5l",
+    task=ExpertTask.DETECTION,
+    parameters=46_533_693,
+    gflops_per_sample=109.1,
+)
+
+
+class ArchitectureRegistry:
+    """A name-indexed collection of :class:`ExpertArchitecture` objects."""
+
+    def __init__(self) -> None:
+        self._architectures: Dict[str, ExpertArchitecture] = {}
+
+    def register(self, architecture: ExpertArchitecture) -> ExpertArchitecture:
+        """Add an architecture; raises if the name is already taken."""
+        if architecture.name in self._architectures:
+            raise ValueError(f"architecture '{architecture.name}' is already registered")
+        self._architectures[architecture.name] = architecture
+        return architecture
+
+    def get(self, name: str) -> ExpertArchitecture:
+        """Look an architecture up by name."""
+        try:
+            return self._architectures[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown architecture '{name}'; known: {sorted(self._architectures)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._architectures
+
+    def __iter__(self) -> Iterator[ExpertArchitecture]:
+        return iter(self._architectures.values())
+
+    def __len__(self) -> int:
+        return len(self._architectures)
+
+    def names(self) -> list:
+        """Sorted list of registered architecture names."""
+        return sorted(self._architectures)
+
+
+def default_registry() -> ArchitectureRegistry:
+    """Registry pre-populated with the paper's three architectures."""
+    registry = ArchitectureRegistry()
+    registry.register(RESNET101)
+    registry.register(YOLOV5M)
+    registry.register(YOLOV5L)
+    return registry

@@ -1,0 +1,58 @@
+"""Interconnect (data movement path) model.
+
+Moving expert weights between memory tiers is never free.  On the NUMA
+device the CPU-to-GPU path crosses PCIe; on the UMA device the memory
+is physically shared but AI frameworks still reorganise tensor data
+when an expert migrates between CPU and GPU execution, which the paper
+observes costs more than 60% of inference latency (Figure 1).  Both are
+modelled as an :class:`Interconnect` with an effective bandwidth and a
+fixed per-transfer overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.units import mb_per_second_to_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """A point-to-point data path between two memory tiers.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name, e.g. ``"pcie4"`` or ``"uma-reorg"``.
+    bandwidth_bytes_per_ms:
+        Effective (not peak) bandwidth of the path.
+    per_transfer_overhead_ms:
+        Fixed software/driver overhead added to every transfer.
+    """
+
+    name: str
+    bandwidth_bytes_per_ms: float
+    per_transfer_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_ms <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.per_transfer_overhead_ms < 0:
+            raise ValueError("overhead must be non-negative")
+
+    @classmethod
+    def from_mb_per_second(
+        cls, name: str, mb_per_s: float, per_transfer_overhead_ms: float = 0.0
+    ) -> "Interconnect":
+        """Build an interconnect from a bandwidth quoted in MB/s."""
+        return cls(
+            name=name,
+            bandwidth_bytes_per_ms=mb_per_second_to_bytes_per_ms(mb_per_s),
+            per_transfer_overhead_ms=per_transfer_overhead_ms,
+        )
+
+    def transfer_latency_ms(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` across this path."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.per_transfer_overhead_ms + num_bytes / self.bandwidth_bytes_per_ms

@@ -1,0 +1,74 @@
+"""Storage device (SSD) model.
+
+Expert weights that do not fit in CPU or GPU memory live on the SSD and
+are read back on demand during expert switching.  The paper's two SSDs
+(Table 1 / Figure 1) differ by almost 6x in read bandwidth, which is why
+expert switching from SSD dominates inference latency on the NUMA
+device in particular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.units import mb_per_second_to_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class StorageDevice:
+    """A block storage device characterised by bandwidth and access latency.
+
+    Parameters
+    ----------
+    name:
+        Model name, e.g. ``"MICRON MTFDDAK480TDS"``.
+    read_bandwidth_bytes_per_ms:
+        Sustained sequential read bandwidth.
+    write_bandwidth_bytes_per_ms:
+        Sustained sequential write bandwidth.
+    access_latency_ms:
+        Fixed per-request latency added to every read or write.
+    """
+
+    name: str
+    read_bandwidth_bytes_per_ms: float
+    write_bandwidth_bytes_per_ms: float
+    access_latency_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.read_bandwidth_bytes_per_ms <= 0:
+            raise ValueError("read bandwidth must be positive")
+        if self.write_bandwidth_bytes_per_ms <= 0:
+            raise ValueError("write bandwidth must be positive")
+        if self.access_latency_ms < 0:
+            raise ValueError("access latency must be non-negative")
+
+    @classmethod
+    def from_mb_per_second(
+        cls,
+        name: str,
+        read_mb_per_s: float,
+        write_mb_per_s: float | None = None,
+        access_latency_ms: float = 0.1,
+    ) -> "StorageDevice":
+        """Build a device from bandwidths quoted in MB/s."""
+        if write_mb_per_s is None:
+            write_mb_per_s = read_mb_per_s
+        return cls(
+            name=name,
+            read_bandwidth_bytes_per_ms=mb_per_second_to_bytes_per_ms(read_mb_per_s),
+            write_bandwidth_bytes_per_ms=mb_per_second_to_bytes_per_ms(write_mb_per_s),
+            access_latency_ms=access_latency_ms,
+        )
+
+    def read_latency_ms(self, num_bytes: int) -> float:
+        """Time to read ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.access_latency_ms + num_bytes / self.read_bandwidth_bytes_per_ms
+
+    def write_latency_ms(self, num_bytes: int) -> float:
+        """Time to write ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return self.access_latency_ms + num_bytes / self.write_bandwidth_bytes_per_ms

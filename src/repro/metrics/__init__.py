@@ -1,0 +1,27 @@
+"""Metric collection and reporting.
+
+The collector accumulates the quantities the paper reports: throughput
+(Figure 13, 15, 17, 18), expert switches (Figure 14, 16), the split of
+busy time between expert switching and execution (Figure 1), and
+scheduling overhead (Figure 19).  The report helpers render experiment
+results as aligned text tables.
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_table, format_mapping
+from repro.metrics.timeline import (
+    ExecutorTimeline,
+    TimelineInterval,
+    build_timelines,
+    utilisation_report,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "format_table",
+    "format_mapping",
+    "ExecutorTimeline",
+    "TimelineInterval",
+    "build_timelines",
+    "utilisation_report",
+]

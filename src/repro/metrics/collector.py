@@ -1,0 +1,133 @@
+"""Run-level metric accumulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LoadEvent:
+    """One expert load performed during serving."""
+
+    time_ms: float
+    executor_name: str
+    expert_id: str
+    source_tier: str
+    latency_ms: float
+    evicted: bool
+    initial: bool
+
+
+@dataclass
+class ExecutionEvent:
+    """One batch execution."""
+
+    time_ms: float
+    executor_name: str
+    expert_id: str
+    batch_size: int
+    latency_ms: float
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-run metrics for the simulation engine.
+
+    The collector keeps both aggregate counters (always) and full event
+    lists (only when ``keep_events`` is true) so long runs stay light
+    while ablation experiments can still drill into individual events.
+    """
+
+    keep_events: bool = False
+
+    total_execution_ms: float = 0.0
+    total_switching_ms: float = 0.0
+    total_scheduling_ms: float = 0.0
+    scheduling_decisions: int = 0
+    expert_loads: int = 0
+    expert_switches: int = 0
+    loads_from_ssd: int = 0
+    loads_from_cache: int = 0
+    batches_executed: int = 0
+    stages_executed: int = 0
+
+    load_events: List[LoadEvent] = field(default_factory=list)
+    execution_events: List[ExecutionEvent] = field(default_factory=list)
+
+    def record_scheduling(self, latency_ms: float) -> None:
+        """Record one scheduling decision."""
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        self.total_scheduling_ms += latency_ms
+        self.scheduling_decisions += 1
+
+    def record_load(
+        self,
+        time_ms: float,
+        executor_name: str,
+        expert_id: str,
+        source_tier: str,
+        latency_ms: float,
+        evicted: bool,
+        initial: bool = False,
+    ) -> None:
+        """Record one expert load (and whether it displaced residents)."""
+        if not initial:
+            self.expert_loads += 1
+            self.total_switching_ms += latency_ms
+            if evicted:
+                self.expert_switches += 1
+            if source_tier == "ssd":
+                self.loads_from_ssd += 1
+            else:
+                self.loads_from_cache += 1
+        if self.keep_events:
+            self.load_events.append(
+                LoadEvent(
+                    time_ms=time_ms,
+                    executor_name=executor_name,
+                    expert_id=expert_id,
+                    source_tier=source_tier,
+                    latency_ms=latency_ms,
+                    evicted=evicted,
+                    initial=initial,
+                )
+            )
+
+    def record_execution(
+        self,
+        time_ms: float,
+        executor_name: str,
+        expert_id: str,
+        batch_size: int,
+        latency_ms: float,
+    ) -> None:
+        """Record one batch execution."""
+        self.total_execution_ms += latency_ms
+        self.batches_executed += 1
+        self.stages_executed += batch_size
+        if self.keep_events:
+            self.execution_events.append(
+                ExecutionEvent(
+                    time_ms=time_ms,
+                    executor_name=executor_name,
+                    expert_id=expert_id,
+                    batch_size=batch_size,
+                    latency_ms=latency_ms,
+                )
+            )
+
+    @property
+    def average_scheduling_latency_ms(self) -> float:
+        if self.scheduling_decisions == 0:
+            return 0.0
+        return self.total_scheduling_ms / self.scheduling_decisions
+
+    @property
+    def switching_share(self) -> float:
+        """Fraction of serving time spent switching experts."""
+        total = self.total_execution_ms + self.total_switching_ms
+        if total <= 0:
+            return 0.0
+        return self.total_switching_ms / total

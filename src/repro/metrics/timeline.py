@@ -1,0 +1,144 @@
+"""Per-executor timelines built from recorded simulation events.
+
+When a simulation runs with ``SimulationOptions(keep_metric_events=True)``
+the metrics collector keeps every load and execution event.  This module
+turns those events into per-executor timelines and utilisation
+summaries — the kind of breakdown used to debug why a configuration
+under-performs (e.g. a CPU executor spending most of its time loading
+experts from the SSD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.metrics.collector import ExecutionEvent, LoadEvent, MetricsCollector
+
+
+@dataclass(frozen=True)
+class TimelineInterval:
+    """One busy interval of an executor."""
+
+    start_ms: float
+    end_ms: float
+    kind: str            # "load" or "execute"
+    expert_id: str
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end_ms < self.start_ms:
+            raise ValueError("interval must not end before it starts")
+        if self.kind not in ("load", "execute"):
+            raise ValueError(f"unknown interval kind '{self.kind}'")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class ExecutorTimeline:
+    """Chronological busy intervals of one executor."""
+
+    executor_name: str
+    intervals: Tuple[TimelineInterval, ...]
+
+    @property
+    def load_time_ms(self) -> float:
+        return sum(i.duration_ms for i in self.intervals if i.kind == "load")
+
+    @property
+    def execution_time_ms(self) -> float:
+        return sum(i.duration_ms for i in self.intervals if i.kind == "execute")
+
+    @property
+    def busy_time_ms(self) -> float:
+        return self.load_time_ms + self.execution_time_ms
+
+    def busy_fraction(self, horizon_ms: float) -> float:
+        """Share of a horizon the executor spent busy."""
+        if horizon_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_time_ms / horizon_ms)
+
+    def switching_share(self) -> float:
+        """Fraction of busy time spent loading experts (Figure 1's metric)."""
+        if self.busy_time_ms <= 0:
+            return 0.0
+        return self.load_time_ms / self.busy_time_ms
+
+    def top_loaded_experts(self, count: int = 5) -> List[Tuple[str, float]]:
+        """Experts ranked by total time spent loading them on this executor."""
+        totals: Dict[str, float] = {}
+        for interval in self.intervals:
+            if interval.kind == "load":
+                totals[interval.expert_id] = totals.get(interval.expert_id, 0.0) + interval.duration_ms
+        ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+
+def build_timelines(metrics: MetricsCollector) -> Dict[str, ExecutorTimeline]:
+    """Build per-executor timelines from a collector's recorded events.
+
+    Raises
+    ------
+    ValueError
+        If the collector was created without ``keep_events=True`` (there
+        is nothing to build a timeline from).
+    """
+    if not metrics.keep_events:
+        raise ValueError(
+            "the metrics collector did not keep events; run the simulation with "
+            "SimulationOptions(keep_metric_events=True)"
+        )
+    intervals_by_executor: Dict[str, List[TimelineInterval]] = {}
+
+    for event in metrics.load_events:
+        if event.initial:
+            continue
+        intervals_by_executor.setdefault(event.executor_name, []).append(
+            TimelineInterval(
+                start_ms=event.time_ms,
+                end_ms=event.time_ms + event.latency_ms,
+                kind="load",
+                expert_id=event.expert_id,
+                detail=f"from {event.source_tier}",
+            )
+        )
+    for event in metrics.execution_events:
+        intervals_by_executor.setdefault(event.executor_name, []).append(
+            TimelineInterval(
+                start_ms=event.time_ms,
+                end_ms=event.time_ms + event.latency_ms,
+                kind="execute",
+                expert_id=event.expert_id,
+                detail=f"batch={event.batch_size}",
+            )
+        )
+
+    timelines: Dict[str, ExecutorTimeline] = {}
+    for executor_name, intervals in intervals_by_executor.items():
+        ordered = tuple(sorted(intervals, key=lambda interval: (interval.start_ms, interval.end_ms)))
+        timelines[executor_name] = ExecutorTimeline(executor_name=executor_name, intervals=ordered)
+    return timelines
+
+
+def utilisation_report(
+    timelines: Mapping[str, ExecutorTimeline], makespan_ms: float
+) -> List[Dict[str, object]]:
+    """Flat per-executor utilisation rows for :func:`repro.metrics.report.format_table`."""
+    rows: List[Dict[str, object]] = []
+    for name in sorted(timelines):
+        timeline = timelines[name]
+        rows.append(
+            {
+                "executor": name,
+                "busy_%": round(100 * timeline.busy_fraction(makespan_ms), 1),
+                "switching_share_%": round(100 * timeline.switching_share(), 1),
+                "load_time_s": round(timeline.load_time_ms / 1000, 1),
+                "execution_time_s": round(timeline.execution_time_ms / 1000, 1),
+                "intervals": len(timeline.intervals),
+            }
+        )
+    return rows

@@ -1,0 +1,29 @@
+"""Expert replacement (eviction) policies.
+
+When an executor must load an expert that is not resident in its model
+pool and the pool is full, a replacement policy decides which resident
+experts to evict.  The paper's baselines use history-based policies —
+LRU (Samba-CoE) and FIFO (Samba-CoE FIFO) — while CoServe's
+dependency-aware expert manager (§4.3, implemented in
+``repro.core.expert_manager``) uses the pre-assessed expert dependency
+graph and usage probabilities instead.
+
+All policies implement the :class:`EvictionPolicy` interface so that
+the simulator and the serving systems can swap them freely; LFU and a
+seeded random policy are included for ablation beyond the paper.
+"""
+
+from repro.policies.base import EvictionPolicy, EvictionContext
+from repro.policies.lru import LRUPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.random_policy import RandomPolicy
+
+__all__ = [
+    "EvictionPolicy",
+    "EvictionContext",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "RandomPolicy",
+]

@@ -1,0 +1,110 @@
+"""Eviction policy interface.
+
+A policy observes loads and accesses (so it can maintain recency or
+frequency state) and, when asked, produces a *victim ordering*: the
+resident experts of one executor's model pool, ordered from the most to
+the least attractive eviction candidate.  The simulator evicts experts
+in that order until the incoming expert fits; separating "ordering"
+(policy) from "how many" (simulator) keeps every policy small.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class EvictionContext:
+    """Information available to a policy when choosing victims.
+
+    Parameters
+    ----------
+    pool_name:
+        Name of the model pool that needs space.  Executors bound to the
+        same processor usually share one pool, so policy state (recency,
+        frequency, load order) is keyed by pool rather than by executor.
+    resident_expert_ids:
+        Experts currently resident in the pool.
+    incoming_expert_id:
+        The expert that needs to be loaded.
+    protected_expert_ids:
+        Experts that must not be evicted (e.g. experts currently being
+        executed by an executor sharing the pool).
+    queued_expert_ids:
+        Experts required by jobs still waiting in the executor's queue;
+        smarter policies prefer not to evict these.
+    now_ms:
+        Current virtual time.
+    """
+
+    pool_name: str
+    resident_expert_ids: Tuple[str, ...]
+    incoming_expert_id: str
+    protected_expert_ids: FrozenSet[str] = frozenset()
+    queued_expert_ids: FrozenSet[str] = frozenset()
+    now_ms: float = 0.0
+
+    def evictable(self) -> Tuple[str, ...]:
+        """Residents that may legally be evicted."""
+        blocked: Set[str] = set(self.protected_expert_ids)
+        blocked.add(self.incoming_expert_id)
+        return tuple(e for e in self.resident_expert_ids if e not in blocked)
+
+
+class EvictionPolicy(abc.ABC):
+    """Base class for expert replacement policies."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "base"
+
+    def reset(self) -> None:
+        """Forget all recorded history (called between runs)."""
+
+    def record_load(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        """Notify the policy that an expert was loaded into a pool."""
+
+    def record_access(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        """Notify the policy that a resident expert served a batch."""
+
+    def record_eviction(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        """Notify the policy that an expert was evicted from a pool."""
+
+    @abc.abstractmethod
+    def victim_order(self, context: EvictionContext) -> List[str]:
+        """Return evictable experts ordered from first to last victim.
+
+        Implementations must only return experts from
+        ``context.evictable()``; the simulator evicts them in order
+        until the incoming expert fits.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class _PerPoolCounterPolicy(EvictionPolicy):
+    """Shared machinery for policies keyed on per-pool counters."""
+
+    def __init__(self) -> None:
+        self._counters: dict = {}
+        self._tick = 0
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._tick = 0
+
+    def _bump(self, pool_name: str, expert_id: str) -> None:
+        self._tick += 1
+        self._counters[(pool_name, expert_id)] = self._tick
+
+    def _counter(self, pool_name: str, expert_id: str) -> int:
+        return self._counters.get((pool_name, expert_id), 0)
+
+    def _forget(self, pool_name: str, expert_id: str) -> None:
+        self._counters.pop((pool_name, expert_id), None)
+
+
+#: Backwards-compatible alias (pools used to be strictly per-executor).
+_PerExecutorCounterPolicy = _PerPoolCounterPolicy

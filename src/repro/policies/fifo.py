@@ -1,0 +1,30 @@
+"""First-In-First-Out eviction.
+
+The Samba-CoE FIFO baseline (§5.1) replaces the LRU strategy with plain
+FIFO: the expert that has been resident the longest is evicted first,
+regardless of how recently or frequently it has been used.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policies.base import EvictionContext, _PerPoolCounterPolicy
+
+
+class FIFOPolicy(_PerPoolCounterPolicy):
+    """Evict the resident expert that was loaded earliest."""
+
+    name = "fifo"
+
+    def record_load(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        self._bump(pool_name, expert_id)
+
+    def record_eviction(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        self._forget(pool_name, expert_id)
+
+    def victim_order(self, context: EvictionContext) -> List[str]:
+        return sorted(
+            context.evictable(),
+            key=lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
+        )

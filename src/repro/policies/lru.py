@@ -1,0 +1,34 @@
+"""Least-Recently-Used eviction.
+
+This is the policy Samba-CoE uses to swap experts between HBM and DDR
+(§2.2).  It relies purely on historical access order, which §3.2 shows
+can evict experts whose pre-assessed usage probability is actually
+higher than the experts it keeps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.policies.base import EvictionContext, _PerPoolCounterPolicy
+
+
+class LRUPolicy(_PerPoolCounterPolicy):
+    """Evict the resident expert that was used least recently."""
+
+    name = "lru"
+
+    def record_load(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        self._bump(pool_name, expert_id)
+
+    def record_access(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        self._bump(pool_name, expert_id)
+
+    def record_eviction(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        self._forget(pool_name, expert_id)
+
+    def victim_order(self, context: EvictionContext) -> List[str]:
+        return sorted(
+            context.evictable(),
+            key=lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
+        )

@@ -1,0 +1,12 @@
+"""Baseline request-scheduling policies.
+
+The Samba-CoE baselines schedule requests first-come-first-served onto
+a single executor, or round-robin across several executors (the
+Samba-CoE Parallel baseline, §5.1).  CoServe's dependency-aware
+scheduler lives in :mod:`repro.core.scheduler`.
+"""
+
+from repro.scheduling.fcfs import FCFSScheduling
+from repro.scheduling.round_robin import RoundRobinScheduling
+
+__all__ = ["FCFSScheduling", "RoundRobinScheduling"]

@@ -1,0 +1,69 @@
+"""Base class shared by every serving system."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.coe.model import CoEModel
+from repro.coe.probability import UsageProfile, compute_usage_profile
+from repro.hardware.device import Device
+from repro.simulation.engine import ServingSimulation
+from repro.simulation.results import SimulationResult
+from repro.workload.generator import RequestStream
+
+#: The result type returned by :meth:`ServingSystem.serve`.
+ServingResult = SimulationResult
+
+
+class ServingSystem(abc.ABC):
+    """A CoE serving system bound to a device and a CoE model.
+
+    Concrete systems differ in how they configure executors, memory
+    budgets, scheduling and eviction; they all serve request streams
+    through the same discrete-event engine, so their results are
+    directly comparable.
+    """
+
+    #: Human-readable system name used in reports (overridden per instance).
+    name: str = "serving-system"
+
+    def __init__(
+        self,
+        device: Device,
+        model: CoEModel,
+        usage_profile: Optional[UsageProfile] = None,
+    ) -> None:
+        self.device = device
+        self.model = model
+        self.usage_profile = usage_profile or self._default_usage_profile()
+
+    def _default_usage_profile(self) -> UsageProfile:
+        """Uniform usage probabilities when no profile is supplied."""
+        uniform = {expert_id: 1.0 / len(self.model) for expert_id in self.model.expert_ids}
+        return UsageProfile(uniform)
+
+    @classmethod
+    def usage_profile_from_stream(cls, model: CoEModel, stream: RequestStream) -> UsageProfile:
+        """Pre-assess usage probabilities from a representative stream.
+
+        This mirrors §4.5's empirical procedure: run the routing on a
+        sample dataset and record which experts each request visits.
+        """
+        category_weights = {name: float(count) for name, count in stream.category_counts().items()}
+        return compute_usage_profile(model, category_weights)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def build_simulation(self) -> ServingSimulation:
+        """Construct and initialise the simulation for one run."""
+
+    def serve(self, stream: RequestStream) -> ServingResult:
+        """Serve a request stream to completion and return the result."""
+        simulation = self.build_simulation()
+        return simulation.run(stream)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, device={self.device.name!r})"

@@ -1,0 +1,72 @@
+"""Name-based factory for serving systems.
+
+The experiment harness refers to systems by the names used in the
+paper's figures; this module maps those names onto configured system
+objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.coe.model import CoEModel
+from repro.coe.probability import UsageProfile
+from repro.hardware.device import Device
+from repro.serving.base import ServingSystem
+from repro.serving.coserve import CoServeSystem
+from repro.serving.samba_coe import SambaCoESystem
+
+#: Every system name understood by :func:`build_system`.
+SYSTEM_NAMES: Tuple[str, ...] = (
+    "samba-coe",
+    "samba-coe-fifo",
+    "samba-coe-parallel",
+    "coserve-best",
+    "coserve-casual",
+    "coserve-none",
+    "coserve-em",
+    "coserve-em-ra",
+    "coserve",
+)
+
+
+def build_system(
+    name: str,
+    device: Device,
+    model: CoEModel,
+    usage_profile: Optional[UsageProfile] = None,
+    **overrides,
+) -> ServingSystem:
+    """Build a serving system by its evaluation name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SYSTEM_NAMES` (case-insensitive).
+    device, model, usage_profile:
+        The deployment the system serves.
+    overrides:
+        Passed through to the system constructor (e.g.
+        ``performance_matrix=...`` to reuse a profiled matrix across
+        systems, or executor-count overrides).
+    """
+    key = name.strip().lower()
+    if key == "samba-coe":
+        return SambaCoESystem.baseline(device, model, usage_profile, **overrides)
+    if key == "samba-coe-fifo":
+        return SambaCoESystem.fifo(device, model, usage_profile, **overrides)
+    if key == "samba-coe-parallel":
+        return SambaCoESystem.parallel(device, model, usage_profile, **overrides)
+    if key == "coserve-best":
+        return CoServeSystem.best(device, model, usage_profile, **overrides)
+    if key == "coserve-casual":
+        return CoServeSystem.casual(device, model, usage_profile, **overrides)
+    if key == "coserve-none":
+        return CoServeSystem.ablation(device, model, "none", usage_profile, **overrides)
+    if key == "coserve-em":
+        return CoServeSystem.ablation(device, model, "em", usage_profile, **overrides)
+    if key == "coserve-em-ra":
+        return CoServeSystem.ablation(device, model, "em+ra", usage_profile, **overrides)
+    if key == "coserve":
+        return CoServeSystem.ablation(device, model, "full", usage_profile, **overrides)
+    raise ValueError(f"unknown system '{name}'; expected one of {SYSTEM_NAMES}")

@@ -1,0 +1,42 @@
+"""Deterministic discrete-event serving simulator.
+
+This subpackage plays the role of the physical serving deployment in
+the paper: inference executors bound to the device's GPU and CPU, each
+with a model pool and a request queue, processing batches in virtual
+time while contending for shared compute and I/O resources.
+
+The simulator is policy-agnostic: a scheduling policy decides which
+executor a request goes to, where it sits in the queue and how large a
+batch may be; an eviction policy decides which resident experts to
+evict when a new expert must be loaded.  The Samba-CoE baselines and
+CoServe differ *only* in the policies and configurations they plug into
+this engine, which is what makes the ablation studies meaningful.
+"""
+
+from repro.simulation.request import SimRequest, StageJob, StageRecord
+from repro.simulation.queueing import RequestQueue
+from repro.simulation.model_pool import ModelPool
+from repro.simulation.host_cache import HostCache
+from repro.simulation.resources import SerialResource
+from repro.simulation.executor import Executor, ExecutorConfig
+from repro.simulation.interfaces import SchedulingPolicy
+from repro.simulation.results import ExecutorSummary, SimulationResult
+from repro.simulation.engine import ServingSimulation, SimulationError, SimulationOptions
+
+__all__ = [
+    "SimRequest",
+    "StageJob",
+    "StageRecord",
+    "RequestQueue",
+    "ModelPool",
+    "HostCache",
+    "SerialResource",
+    "Executor",
+    "ExecutorConfig",
+    "SchedulingPolicy",
+    "ExecutorSummary",
+    "SimulationResult",
+    "ServingSimulation",
+    "SimulationError",
+    "SimulationOptions",
+]

@@ -1,0 +1,514 @@
+"""The discrete-event serving simulation engine.
+
+The engine advances virtual time through three kinds of events:
+
+* **job arrival** — a stage job enters the system (either because a
+  workload request arrived, or because an earlier pipeline stage of a
+  request finished and its subsequent expert can now run);
+* **executor dispatch** — an idle executor with queued work forms a
+  batch, loads the required expert if necessary (evicting residents
+  according to the eviction policy) and starts executing;
+* **batch finish** — a running batch completes, its requests advance to
+  their next pipeline stage (or complete), and the executor dispatches
+  again.
+
+Executors bound to the same processor share that processor's compute
+serially; expert loads share the SSD / interconnect serially.  Both are
+modelled with :class:`~repro.simulation.resources.SerialResource`, so a
+load on one executor overlaps with execution on another — the effect
+that makes multiple executors worthwhile (Figure 17) — while executors
+on the same processor do not multiply raw compute throughput.
+
+All decisions are delegated to the scheduling policy (assignment,
+arrangement, batch-size limit) and the eviction policy (victim order),
+so Samba-CoE, its variants and CoServe all run on this single engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coe.model import CoEModel
+from repro.hardware.device import Device
+from repro.hardware.memory import MemoryTier
+from repro.hardware.processor import ProcessorKind
+from repro.metrics.collector import MetricsCollector
+from repro.policies.base import EvictionContext, EvictionPolicy
+from repro.simulation.executor import Executor, ExecutorConfig
+from repro.simulation.host_cache import HostCache
+from repro.simulation.interfaces import SchedulingPolicy
+from repro.simulation.request import SimRequest, StageJob, StageRecord
+from repro.simulation.resources import SerialResource
+from repro.simulation.results import ExecutorSummary, SimulationResult
+from repro.workload.generator import RequestStream
+
+
+class SimulationError(RuntimeError):
+    """Raised when a run cannot proceed (e.g. an expert cannot fit)."""
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Tunable behaviour of the engine.
+
+    Parameters
+    ----------
+    count_initial_loads_as_switches:
+        Whether preloading during system initialisation counts towards
+        the expert-switch metric (the paper does not count it).
+    keep_request_records:
+        Keep per-request stage records in the result (needed for the
+        latency breakdowns of Figures 1 and 19; can be disabled for
+        large sweeps).
+    keep_metric_events:
+        Keep individual load/execution events in the metrics collector.
+    """
+
+    count_initial_loads_as_switches: bool = False
+    keep_request_records: bool = True
+    keep_metric_events: bool = False
+    #: Executors bound to the same processor share one model pool (they
+    #: share the same physical memory).  Disable to give every executor
+    #: a private pool.
+    share_pool_per_processor: bool = True
+
+
+#: Event kinds, ordered so that finishes at time t are handled before
+#: arrivals at the same instant (freeing executors first is both
+#: realistic and deterministic).
+_EVENT_FINISH = 0
+_EVENT_JOB = 1
+_EVENT_DISPATCH = 2
+
+
+class ServingSimulation:
+    """A configured serving deployment ready to process request streams."""
+
+    def __init__(
+        self,
+        device: Device,
+        model: CoEModel,
+        executor_configs: Sequence[ExecutorConfig],
+        scheduling_policy: SchedulingPolicy,
+        eviction_policy: EvictionPolicy,
+        host_cache_bytes: int = 0,
+        options: Optional[SimulationOptions] = None,
+        system_name: str = "system",
+    ) -> None:
+        if not executor_configs:
+            raise ValueError("at least one executor is required")
+        names = [config.name for config in executor_configs]
+        if len(set(names)) != len(names):
+            raise ValueError("executor names must be unique")
+
+        self.device = device
+        self.model = model
+        self.scheduling_policy = scheduling_policy
+        self.eviction_policy = eviction_policy
+        self.options = options or SimulationOptions()
+        self.system_name = system_name
+
+        self._executors: List[Executor] = self._build_executors(executor_configs)
+        self._validate_memory_budgets(host_cache_bytes)
+
+        self.host_cache: Optional[HostCache] = None
+        if host_cache_bytes > 0 and not device.is_uma:
+            self.host_cache = HostCache(host_cache_bytes)
+
+        self._compute_resources: Dict[ProcessorKind, SerialResource] = {
+            executor.kind: SerialResource(name=f"compute-{executor.kind.value}")
+            for executor in self._executors
+        }
+        self._io_resources: Dict[MemoryTier, SerialResource] = {
+            MemoryTier.SSD: SerialResource(name="io-ssd"),
+        }
+        for tier in (MemoryTier.CPU, MemoryTier.UNIFIED):
+            if device.has_tier(tier):
+                self._io_resources[tier] = SerialResource(name=f"io-{tier.value}")
+
+        self.metrics = MetricsCollector(keep_events=self.options.keep_metric_events)
+        self._preload_plan: Dict[str, Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_executors(self, executor_configs: Sequence[ExecutorConfig]) -> List[Executor]:
+        """Create executors, sharing one model pool per processor kind."""
+        if not self.options.share_pool_per_processor:
+            return [Executor(config) for config in executor_configs]
+        pool_capacity: Dict[ProcessorKind, int] = {}
+        for config in executor_configs:
+            pool_capacity[config.processor_kind] = (
+                pool_capacity.get(config.processor_kind, 0) + config.expert_pool_bytes
+            )
+        from repro.simulation.model_pool import ModelPool
+
+        shared_pools = {
+            kind: ModelPool(name=f"pool-{kind.value}", capacity_bytes=capacity)
+            for kind, capacity in pool_capacity.items()
+        }
+        return [Executor(config, pool=shared_pools[config.processor_kind]) for config in executor_configs]
+
+    def _validate_memory_budgets(self, host_cache_bytes: int) -> None:
+        """Executor budgets (plus the host cache) must fit the device."""
+        usage_per_tier: Dict[MemoryTier, int] = {}
+        for executor in self._executors:
+            tier = self.device.memory_tier_for(executor.kind)
+            usage_per_tier[tier] = usage_per_tier.get(tier, 0) + executor.config.total_bytes
+        if host_cache_bytes > 0 and not self.device.is_uma:
+            usage_per_tier[MemoryTier.CPU] = (
+                usage_per_tier.get(MemoryTier.CPU, 0) + host_cache_bytes
+            )
+        for tier, used in usage_per_tier.items():
+            capacity = self.device.region(tier).capacity_bytes
+            if used > capacity:
+                raise SimulationError(
+                    f"memory budgets for tier '{tier.value}' total {used} bytes, "
+                    f"exceeding the device capacity of {capacity} bytes"
+                )
+        largest_expert = max(expert.weight_bytes for expert in self.model.experts.values())
+        for executor in self._executors:
+            if executor.pool.capacity_bytes < largest_expert:
+                raise SimulationError(
+                    f"executor '{executor.name}' has an expert pool of "
+                    f"{executor.pool.capacity_bytes} bytes, smaller than the largest expert "
+                    f"({largest_expert} bytes); no expert could ever be loaded"
+                )
+
+    @property
+    def executors(self) -> Tuple[Executor, ...]:
+        return tuple(self._executors)
+
+    def executor(self, name: str) -> Executor:
+        for executor in self._executors:
+            if executor.name == name:
+                return executor
+        raise KeyError(f"no executor named '{name}'")
+
+    def executors_of_kind(self, kind: ProcessorKind) -> Tuple[Executor, ...]:
+        return tuple(executor for executor in self._executors if executor.kind is kind)
+
+    def preload(self, plan: Mapping[str, Sequence[str]]) -> None:
+        """Load experts into executor pools during system initialisation.
+
+        The plan maps executor names to expert ids in priority order;
+        loading stops silently for experts that no longer fit (the paper
+        fills pools "until the memory is fully utilized").  Preloads are
+        free in virtual time and, by default, do not count as switches.
+        """
+        for executor_name, expert_ids in plan.items():
+            executor = self.executor(executor_name)
+            loaded: List[str] = []
+            for expert_id in expert_ids:
+                expert = self.model.expert(expert_id)
+                if executor.pool.contains(expert_id):
+                    continue
+                if not executor.pool.can_fit(expert.weight_bytes):
+                    continue
+                executor.pool.load(expert_id, expert.weight_bytes)
+                self.eviction_policy.record_load(executor.pool.name, expert_id, 0.0)
+                self.metrics.record_load(
+                    time_ms=0.0,
+                    executor_name=executor.name,
+                    expert_id=expert_id,
+                    source_tier=MemoryTier.SSD.value,
+                    latency_ms=0.0,
+                    evicted=False,
+                    initial=not self.options.count_initial_loads_as_switches,
+                )
+                loaded.append(expert_id)
+            self._preload_plan[executor_name] = tuple(loaded)
+
+    def preload_host_cache(self, expert_ids: Sequence[str]) -> None:
+        """Stage experts in the CPU-memory cache during initialisation.
+
+        No-op on devices without a host cache (UMA devices).
+        """
+        if self.host_cache is None:
+            return
+        for expert_id in expert_ids:
+            expert = self.model.expert(expert_id)
+            if self.host_cache.free_bytes < expert.weight_bytes:
+                continue
+            self.host_cache.put(expert_id, expert.weight_bytes)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self, stream: RequestStream) -> SimulationResult:
+        """Serve a request stream to completion and return the result."""
+        self.scheduling_policy.attach(self)
+
+        requests = [SimRequest(spec) for spec in stream]
+        events: List[Tuple[float, int, int, object]] = []
+        sequence = 0
+        for request in requests:
+            job = StageJob(
+                request=request,
+                stage_index=0,
+                expert_id=request.pipeline[0],
+                enqueue_ms=request.arrival_ms,
+            )
+            heapq.heappush(events, (request.arrival_ms, _EVENT_JOB, sequence, job))
+            sequence += 1
+
+        last_completion_ms = 0.0
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if kind == _EVENT_JOB:
+                sequence = self._handle_job(payload, now, events, sequence)
+            elif kind == _EVENT_DISPATCH:
+                sequence = self._dispatch(payload, now, events, sequence)
+            elif kind == _EVENT_FINISH:
+                executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
+                sequence = self._handle_finish(
+                    executor, batch, dispatch_ms, start_ms, end_ms, switch_wait, events, sequence
+                )
+                last_completion_ms = max(last_completion_ms, end_ms)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind}")
+
+        incomplete = [request for request in requests if not request.is_completed]
+        if incomplete:
+            raise SimulationError(
+                f"{len(incomplete)} requests did not complete "
+                f"(first: {incomplete[0].request_id})"
+            )
+
+        return self._build_result(stream, requests, last_completion_ms)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_job(
+        self,
+        job: StageJob,
+        now: float,
+        events: List[Tuple[float, int, int, object]],
+        sequence: int,
+    ) -> int:
+        """Schedule a newly arrived stage job onto an executor queue."""
+        scheduling_latency = self.scheduling_policy.scheduling_latency_ms(job, now)
+        self.metrics.record_scheduling(scheduling_latency)
+
+        executor = self.scheduling_policy.select_executor(job, self._executors, now)
+        job.predicted_latency_ms = self.scheduling_policy.predicted_additional_latency_ms(
+            executor, job, now
+        )
+        index = self.scheduling_policy.insertion_index(executor, job, now)
+        executor.queue.insert(index, job)
+
+        if executor.idle:
+            executor.idle = False
+            heapq.heappush(events, (now, _EVENT_DISPATCH, sequence, executor))
+            sequence += 1
+        return sequence
+
+    def _dispatch(
+        self,
+        executor: Executor,
+        now: float,
+        events: List[Tuple[float, int, int, object]],
+        sequence: int,
+    ) -> int:
+        """Form and start the next batch on an executor."""
+        if executor.queue.is_empty:
+            executor.idle = True
+            executor.current_expert_id = None
+            return sequence
+
+        head_expert_id = executor.queue.head_expert_id()
+        max_batch = max(1, self.scheduling_policy.max_batch_size(executor, head_expert_id))
+        batch = executor.queue.pop_head_run(max_batch)
+        expert = self.model.expert(batch[0].expert_id)
+        executor.current_expert_id = expert.expert_id
+
+        ready_ms = now
+        switch_wait = 0.0
+        if not executor.pool.contains(expert.expert_id):
+            ready_ms = self._load_expert(executor, expert, now)
+            switch_wait = ready_ms - now
+
+        execution_latency = self.device.execution_latency_ms(
+            expert.architecture_name, executor.kind, len(batch)
+        )
+        compute = self._compute_resources[executor.kind]
+        start_ms, end_ms = compute.acquire(ready_ms, execution_latency)
+
+        executor.busy_until_ms = end_ms
+        executor.idle = False
+        self.eviction_policy.record_access(executor.pool.name, expert.expert_id, start_ms)
+        executor.stats.batches_executed += 1
+        executor.stats.stages_executed += len(batch)
+        executor.stats.execution_busy_ms += execution_latency
+        self.metrics.record_execution(
+            time_ms=start_ms,
+            executor_name=executor.name,
+            expert_id=expert.expert_id,
+            batch_size=len(batch),
+            latency_ms=execution_latency,
+        )
+
+        payload = (executor, batch, now, start_ms, end_ms, switch_wait)
+        heapq.heappush(events, (end_ms, _EVENT_FINISH, sequence, payload))
+        return sequence + 1
+
+    def _locate_source_tier(self, executor: Executor, expert_id: str) -> MemoryTier:
+        """Find the fastest tier the expert can currently be loaded from.
+
+        Preference order: the host-memory cache, then any other model
+        pool on the device (another processor's pool reached over the
+        interconnect / unified-memory reorganisation path), then the
+        SSD.
+        """
+        if self.host_cache is not None and self.host_cache.lookup(expert_id):
+            return MemoryTier.CPU
+        for other in self._executors:
+            if other.pool is executor.pool:
+                continue
+            if other.pool.contains(expert_id):
+                return self.device.memory_tier_for(other.kind)
+        return MemoryTier.SSD
+
+    def _load_expert(self, executor: Executor, expert, now: float) -> float:
+        """Evict as needed, load the expert, and return the ready time."""
+        pool = executor.pool
+        needed = expert.weight_bytes
+        evicted_any = False
+
+        if not pool.can_fit(needed):
+            protected = {
+                other.current_expert_id
+                for other in self._executors
+                if other is not executor and other.pool is pool and other.current_expert_id
+            }
+            context = EvictionContext(
+                pool_name=pool.name,
+                resident_expert_ids=pool.resident_expert_ids(),
+                incoming_expert_id=expert.expert_id,
+                protected_expert_ids=frozenset(protected),
+                queued_expert_ids=frozenset(executor.queue.queued_expert_ids()),
+                now_ms=now,
+            )
+            for victim in self.eviction_policy.victim_order(context):
+                if pool.can_fit(needed):
+                    break
+                freed = pool.evict(victim)
+                self.eviction_policy.record_eviction(pool.name, victim, now)
+                evicted_any = True
+                if self.host_cache is not None and executor.kind is ProcessorKind.GPU:
+                    self.host_cache.put(victim, freed)
+            if not pool.can_fit(needed):
+                raise SimulationError(
+                    f"executor '{executor.name}' cannot free enough memory for expert "
+                    f"'{expert.expert_id}' ({needed} bytes, {pool.free_bytes} free)"
+                )
+
+        source_tier = self._locate_source_tier(executor, expert.expert_id)
+
+        load_latency = self.device.expert_load_latency_ms(
+            expert.weight_bytes, expert.architecture_name, source_tier, executor.kind
+        )
+        io_resource = self._io_resources.get(source_tier, self._io_resources[MemoryTier.SSD])
+        _, ready_ms = io_resource.acquire(now, load_latency)
+
+        pool.load(expert.expert_id, expert.weight_bytes)
+        self.eviction_policy.record_load(pool.name, expert.expert_id, ready_ms)
+
+        executor.stats.expert_loads += 1
+        executor.stats.load_busy_ms += load_latency
+        if evicted_any:
+            executor.stats.expert_switches += 1
+        if source_tier is MemoryTier.SSD:
+            executor.stats.loads_from_ssd += 1
+        else:
+            executor.stats.loads_from_cache += 1
+        self.metrics.record_load(
+            time_ms=now,
+            executor_name=executor.name,
+            expert_id=expert.expert_id,
+            source_tier=source_tier.value,
+            latency_ms=ready_ms - now,
+            evicted=evicted_any,
+        )
+        return ready_ms
+
+    def _handle_finish(
+        self,
+        executor: Executor,
+        batch: Sequence[StageJob],
+        dispatch_ms: float,
+        start_ms: float,
+        end_ms: float,
+        switch_wait: float,
+        events: List[Tuple[float, int, int, object]],
+        sequence: int,
+    ) -> int:
+        """Record batch completion, spawn subsequent stages, keep dispatching."""
+        for job in batch:
+            record = StageRecord(
+                stage_index=job.stage_index,
+                expert_id=job.expert_id,
+                executor_name=executor.name,
+                enqueue_ms=job.enqueue_ms,
+                start_ms=dispatch_ms,
+                end_ms=end_ms,
+                batch_size=len(batch),
+                switch_wait_ms=switch_wait,
+            )
+            job.request.record_stage(record)
+            if job.request.has_remaining_stages():
+                next_job = StageJob(
+                    request=job.request,
+                    stage_index=job.request.next_stage,
+                    expert_id=job.request.current_expert_id(),
+                    enqueue_ms=end_ms,
+                )
+                heapq.heappush(events, (end_ms, _EVENT_JOB, sequence, next_job))
+                sequence += 1
+        return self._dispatch(executor, end_ms, events, sequence)
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+    def _build_result(
+        self,
+        stream: RequestStream,
+        requests: Sequence[SimRequest],
+        last_completion_ms: float,
+    ) -> SimulationResult:
+        executor_summaries = tuple(
+            ExecutorSummary(
+                name=executor.name,
+                processor_kind=executor.kind.value,
+                batches_executed=executor.stats.batches_executed,
+                stages_executed=executor.stats.stages_executed,
+                execution_busy_ms=executor.stats.execution_busy_ms,
+                load_busy_ms=executor.stats.load_busy_ms,
+                expert_loads=executor.stats.expert_loads,
+                expert_switches=executor.stats.expert_switches,
+                loads_from_ssd=executor.stats.loads_from_ssd,
+                loads_from_cache=executor.stats.loads_from_cache,
+                resident_experts_at_end=executor.pool.resident_count,
+            )
+            for executor in self._executors
+        )
+        return SimulationResult(
+            system_name=self.system_name,
+            device_name=self.device.name,
+            workload_name=stream.name,
+            num_requests=len(stream),
+            makespan_ms=last_completion_ms,
+            total_execution_ms=self.metrics.total_execution_ms,
+            total_switching_ms=self.metrics.total_switching_ms,
+            total_scheduling_ms=self.metrics.total_scheduling_ms,
+            expert_loads=self.metrics.expert_loads,
+            expert_switches=self.metrics.expert_switches,
+            loads_from_ssd=self.metrics.loads_from_ssd,
+            loads_from_cache=self.metrics.loads_from_cache,
+            executors=executor_summaries,
+            requests=tuple(requests) if self.options.keep_request_records else (),
+            scheduling_decisions=self.metrics.scheduling_decisions,
+        )

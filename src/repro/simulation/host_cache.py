@@ -1,0 +1,84 @@
+"""Host-memory expert cache.
+
+On the NUMA device, experts evicted from GPU memory can stay cached in
+CPU memory (the DDR tier in Samba-CoE's HBM/DDR hierarchy, §2.2): a
+later load then crosses PCIe instead of re-reading the SSD, which is an
+order of magnitude faster (Figure 1).  The cache is managed with LRU
+semantics and is shared by every GPU executor of a device.
+
+UMA devices have no separate host tier, so they simply do not create a
+cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class HostCache:
+    """An LRU cache of expert weights held in CPU memory."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self.insertions = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def resident_expert_ids(self) -> Tuple[str, ...]:
+        return tuple(self._resident)
+
+    def contains(self, expert_id: str) -> bool:
+        return expert_id in self._resident
+
+    def lookup(self, expert_id: str) -> bool:
+        """Check residency and record a hit or miss (touching on hit)."""
+        if expert_id in self._resident:
+            self._resident.move_to_end(expert_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def put(self, expert_id: str, num_bytes: int) -> bool:
+        """Insert an expert, evicting LRU entries until it fits.
+
+        Returns ``False`` (and caches nothing) when the expert is larger
+        than the whole cache.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes > self.capacity_bytes:
+            return False
+        if expert_id in self._resident:
+            self._resident.move_to_end(expert_id)
+            return True
+        while self.free_bytes < num_bytes and self._resident:
+            self._resident.popitem(last=False)
+            self.evictions += 1
+        self._resident[expert_id] = num_bytes
+        self.insertions += 1
+        return True
+
+    def remove(self, expert_id: str) -> Optional[int]:
+        """Drop an expert from the cache if present."""
+        return self._resident.pop(expert_id, None)
+
+    def clear(self) -> None:
+        self._resident.clear()

@@ -1,0 +1,61 @@
+"""Policy interfaces the simulation engine is parameterised by.
+
+The engine knows how to advance virtual time; *what* to run where is
+decided by a :class:`SchedulingPolicy` (request assigning, arranging
+and batch splitting) together with an
+:class:`~repro.policies.base.EvictionPolicy` (expert replacement).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Sequence
+
+from repro.simulation.executor import Executor
+from repro.simulation.request import StageJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import ServingSimulation
+
+
+class SchedulingPolicy(abc.ABC):
+    """Decides executor assignment, queue position and batch size."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "base"
+
+    def attach(self, simulation: "ServingSimulation") -> None:
+        """Called once before a run with the simulation being driven.
+
+        Policies that need global state (executor list, CoE model,
+        performance matrix, host cache) grab it here.
+        """
+
+    def reset(self) -> None:
+        """Forget any per-run state (called between runs)."""
+
+    @abc.abstractmethod
+    def select_executor(
+        self, job: StageJob, executors: Sequence[Executor], now_ms: float
+    ) -> Executor:
+        """Choose the executor whose queue the job joins (request assigning)."""
+
+    def insertion_index(self, executor: Executor, job: StageJob, now_ms: float) -> int:
+        """Queue position for the job (request arranging); default: tail."""
+        return len(executor.queue)
+
+    def max_batch_size(self, executor: Executor, expert_id: str) -> int:
+        """Upper bound on the batch the executor may run for this expert
+        (request splitting); default: no batching."""
+        return 1
+
+    def predicted_additional_latency_ms(
+        self, executor: Executor, job: StageJob, now_ms: float
+    ) -> float:
+        """Predicted additional inference latency of adding the job to the
+        executor's queue (§4.2); used for queue finish-time bookkeeping."""
+        return 0.0
+
+    def scheduling_latency_ms(self, job: StageJob, now_ms: float) -> float:
+        """CPU time the scheduling decision itself costs (Figure 19)."""
+        return 0.0

@@ -1,0 +1,88 @@
+"""Per-executor model pools.
+
+The model pool is the working-memory area an executor keeps loaded
+experts in (Figure 7).  It is a byte-accounted set: experts are loaded
+until the pool's capacity is reached, after which the eviction policy
+must free space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class ModelPool:
+    """A capacity-bounded set of resident experts."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self._resident: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def resident_expert_ids(self) -> Tuple[str, ...]:
+        """Currently resident experts, sorted by id."""
+        return tuple(sorted(self._resident))
+
+    def contains(self, expert_id: str) -> bool:
+        return expert_id in self._resident
+
+    def __contains__(self, expert_id: str) -> bool:
+        return expert_id in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def size_of(self, expert_id: str) -> int:
+        """Bytes occupied by a resident expert."""
+        return self._resident[expert_id]
+
+    def can_fit(self, num_bytes: int) -> bool:
+        return num_bytes <= self.free_bytes
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def load(self, expert_id: str, num_bytes: int) -> None:
+        """Add an expert to the pool; it must fit."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if expert_id in self._resident:
+            raise ValueError(f"expert '{expert_id}' is already resident in pool '{self.name}'")
+        if not self.can_fit(num_bytes):
+            raise MemoryError(
+                f"expert '{expert_id}' ({num_bytes} bytes) does not fit in pool "
+                f"'{self.name}' ({self.free_bytes} bytes free)"
+            )
+        self._resident[expert_id] = num_bytes
+
+    def evict(self, expert_id: str) -> int:
+        """Remove an expert from the pool and return its size."""
+        if expert_id not in self._resident:
+            raise KeyError(f"expert '{expert_id}' is not resident in pool '{self.name}'")
+        return self._resident.pop(expert_id)
+
+    def clear(self) -> None:
+        self._resident.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelPool(name={self.name!r}, resident={self.resident_count}, "
+            f"used={self.used_bytes}/{self.capacity_bytes})"
+        )

@@ -1,0 +1,130 @@
+"""Per-executor request queues.
+
+The queue supports the operations the paper's scheduling strategies
+need:
+
+* plain FCFS append (Samba-CoE),
+* insertion *after the last job using the same expert* (CoServe's
+  request arranging, §4.2 / Figure 9),
+* popping the head run of same-expert jobs up to a batch-size limit
+  (the batch splitter), and
+* cheap bookkeeping of which experts have queued jobs and of the
+  predicted total inference time of the queue (used by request
+  assigning, §4.2 / Figure 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, List, Optional, Tuple
+
+from repro.simulation.request import StageJob
+
+
+class RequestQueue:
+    """An ordered queue of stage jobs with expert-aware helpers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._jobs: List[StageJob] = []
+        self._expert_counts: Counter = Counter()
+        self._pending_latency_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[StageJob]:
+        return iter(self._jobs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._jobs
+
+    @property
+    def jobs(self) -> Tuple[StageJob, ...]:
+        """A read-only snapshot of the queued jobs."""
+        return tuple(self._jobs)
+
+    @property
+    def pending_latency_ms(self) -> float:
+        """Sum of the predicted additional latency of all queued jobs."""
+        return self._pending_latency_ms
+
+    def contains_expert(self, expert_id: str) -> bool:
+        """Whether any queued job requires the expert."""
+        return self._expert_counts.get(expert_id, 0) > 0
+
+    def expert_job_count(self, expert_id: str) -> int:
+        """Number of queued jobs requiring the expert."""
+        return self._expert_counts.get(expert_id, 0)
+
+    def queued_expert_ids(self) -> Tuple[str, ...]:
+        """Experts required by at least one queued job."""
+        return tuple(sorted(expert for expert, count in self._expert_counts.items() if count > 0))
+
+    def head_expert_id(self) -> Optional[str]:
+        """Expert required by the job at the head of the queue."""
+        if not self._jobs:
+            return None
+        return self._jobs[0].expert_id
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def append(self, job: StageJob) -> int:
+        """Append a job at the tail; returns its index."""
+        return self.insert(len(self._jobs), job)
+
+    def insert(self, index: int, job: StageJob) -> int:
+        """Insert a job at an index and update bookkeeping."""
+        if index < 0 or index > len(self._jobs):
+            raise IndexError(f"insertion index {index} out of range for queue of {len(self._jobs)}")
+        self._jobs.insert(index, job)
+        self._expert_counts[job.expert_id] += 1
+        self._pending_latency_ms += job.predicted_latency_ms
+        return index
+
+    def index_after_last(self, expert_id: str) -> Optional[int]:
+        """Index just after the last queued job using ``expert_id``.
+
+        Returns ``None`` when no queued job uses the expert; this is the
+        insertion point CoServe's request arranging uses to group
+        same-expert requests together.
+        """
+        if self._expert_counts.get(expert_id, 0) == 0:
+            return None
+        for index in range(len(self._jobs) - 1, -1, -1):
+            if self._jobs[index].expert_id == expert_id:
+                return index + 1
+        return None
+
+    def pop_head_run(self, max_count: int) -> List[StageJob]:
+        """Pop the head run of consecutive jobs sharing the head expert.
+
+        At most ``max_count`` jobs are popped; this implements the batch
+        splitter's view of the queue (Figure 9, right half).
+        """
+        if max_count <= 0:
+            raise ValueError("max_count must be positive")
+        if not self._jobs:
+            return []
+        head_expert = self._jobs[0].expert_id
+        run: List[StageJob] = []
+        while self._jobs and len(run) < max_count and self._jobs[0].expert_id == head_expert:
+            job = self._jobs.pop(0)
+            self._expert_counts[job.expert_id] -= 1
+            if self._expert_counts[job.expert_id] <= 0:
+                del self._expert_counts[job.expert_id]
+            self._pending_latency_ms -= job.predicted_latency_ms
+            run.append(job)
+        if self._pending_latency_ms < 0 and self._pending_latency_ms > -1e-6:
+            self._pending_latency_ms = 0.0
+        return run
+
+    def clear(self) -> None:
+        self._jobs.clear()
+        self._expert_counts.clear()
+        self._pending_latency_ms = 0.0

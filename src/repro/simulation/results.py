@@ -1,0 +1,126 @@
+"""Structured results of one serving-simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.simulation.request import SimRequest
+
+
+@dataclass(frozen=True)
+class ExecutorSummary:
+    """Per-executor statistics of a run."""
+
+    name: str
+    processor_kind: str
+    batches_executed: int
+    stages_executed: int
+    execution_busy_ms: float
+    load_busy_ms: float
+    expert_loads: int
+    expert_switches: int
+    loads_from_ssd: int
+    loads_from_cache: int
+    resident_experts_at_end: int
+
+    @property
+    def average_batch_size(self) -> float:
+        if self.batches_executed == 0:
+            return 0.0
+        return self.stages_executed / self.batches_executed
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Aggregate outcome of serving one request stream."""
+
+    system_name: str
+    device_name: str
+    workload_name: str
+    num_requests: int
+    makespan_ms: float
+    total_execution_ms: float
+    total_switching_ms: float
+    total_scheduling_ms: float
+    expert_loads: int
+    expert_switches: int
+    loads_from_ssd: int
+    loads_from_cache: int
+    executors: Tuple[ExecutorSummary, ...]
+    requests: Tuple[SimRequest, ...] = field(repr=False, default=())
+    scheduling_decisions: int = 0
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of virtual time (Figure 13)."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.num_requests / (self.makespan_ms / 1000.0)
+
+    @property
+    def average_request_latency_ms(self) -> float:
+        """Mean per-request inference latency (execution + switching share).
+
+        Batch execution time and expert switching time are shared by the
+        requests of a batch, so the per-request figure is the total
+        serving time divided by the number of requests (Figure 19's
+        "inference" bar).
+        """
+        if self.num_requests == 0:
+            return 0.0
+        return (self.total_execution_ms + self.total_switching_ms) / self.num_requests
+
+    @property
+    def average_request_service_ms(self) -> float:
+        """Mean per-request wall time inside executors (batch-attributed)."""
+        if not self.requests:
+            return 0.0
+        return sum(request.total_service_ms for request in self.requests) / len(self.requests)
+
+    @property
+    def average_end_to_end_latency_ms(self) -> float:
+        """Mean arrival-to-completion latency."""
+        completed = [r.end_to_end_latency_ms for r in self.requests if r.end_to_end_latency_ms is not None]
+        if not completed:
+            return 0.0
+        return sum(completed) / len(completed)
+
+    @property
+    def average_scheduling_latency_ms(self) -> float:
+        """Mean per-decision scheduling latency (Figure 19)."""
+        if self.scheduling_decisions == 0:
+            return 0.0
+        return self.total_scheduling_ms / self.scheduling_decisions
+
+    @property
+    def switching_share(self) -> float:
+        """Fraction of busy time spent switching experts (Figure 1's metric)."""
+        total = self.total_execution_ms + self.total_switching_ms
+        if total <= 0:
+            return 0.0
+        return self.total_switching_ms / total
+
+    def executor_by_name(self, name: str) -> ExecutorSummary:
+        for summary in self.executors:
+            if summary.name == name:
+                return summary
+        raise KeyError(f"no executor named '{name}' in result")
+
+    def to_row(self) -> Mapping[str, float]:
+        """Flat summary row used by the experiment harness."""
+        return {
+            "system": self.system_name,
+            "device": self.device_name,
+            "workload": self.workload_name,
+            "requests": self.num_requests,
+            "throughput_rps": round(self.throughput_rps, 2),
+            "expert_switches": self.expert_switches,
+            "expert_loads": self.expert_loads,
+            "makespan_s": round(self.makespan_ms / 1000.0, 2),
+            "avg_request_latency_ms": round(self.average_request_latency_ms, 2),
+            "avg_scheduling_latency_ms": round(self.average_scheduling_latency_ms, 3),
+        }

@@ -1,0 +1,226 @@
+"""Request stream generation.
+
+The production line scans circuit boards and feeds one component image
+into the inspection system every 4 ms (§5.1).  Within one board pass
+the camera visits components in the board's scan order, so images of
+the same component type arrive consecutively; a task covers as many
+(partial) passes as needed to reach its request count.
+
+Each request's *realised* pipeline (whether the detection stage actually
+runs) is pre-sampled with the stream's random seed so that runs are
+deterministic, but serving systems only observe the realised second
+stage after the first stage has executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coe.model import CoEModel
+from repro.workload.circuit_board import CircuitBoard
+
+#: Arrival interval between component images in the paper's production line.
+DEFAULT_ARRIVAL_INTERVAL_MS = 4.0
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One inference request of a workload.
+
+    Parameters
+    ----------
+    request_id:
+        Monotonically increasing id within the stream.
+    arrival_ms:
+        Virtual time at which the request enters the system.
+    category:
+        The request's category (component type name).
+    realized_pipeline:
+        The experts this request will actually visit, in order.  The
+        first entry is always the preliminary expert; later entries are
+        only revealed to the serving system as earlier stages complete.
+    """
+
+    request_id: int
+    arrival_ms: float
+    category: str
+    realized_pipeline: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.request_id < 0:
+            raise ValueError("request_id must be non-negative")
+        if self.arrival_ms < 0:
+            raise ValueError("arrival_ms must be non-negative")
+        if not self.realized_pipeline:
+            raise ValueError("realized_pipeline must contain at least one expert")
+
+    @property
+    def preliminary_expert(self) -> str:
+        return self.realized_pipeline[0]
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.realized_pipeline)
+
+
+@dataclass(frozen=True)
+class RequestStream:
+    """A fully materialised request arrival stream."""
+
+    name: str
+    requests: Tuple[RequestSpec, ...]
+    arrival_interval_ms: float
+    board_name: str
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a request stream must contain at least one request")
+        if self.arrival_interval_ms <= 0:
+            raise ValueError("arrival_interval_ms must be positive")
+        previous = -1.0
+        for request in self.requests:
+            if request.arrival_ms < previous:
+                raise ValueError("requests must be sorted by arrival time")
+            previous = request.arrival_ms
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestSpec]:
+        return iter(self.requests)
+
+    def __getitem__(self, index: int) -> RequestSpec:
+        return self.requests[index]
+
+    @property
+    def duration_ms(self) -> float:
+        """Time span between the first and last arrival."""
+        return self.requests[-1].arrival_ms - self.requests[0].arrival_ms
+
+    @property
+    def total_stage_count(self) -> int:
+        """Total number of expert executions the stream requires."""
+        return sum(request.stage_count for request in self.requests)
+
+    def distinct_experts(self) -> Tuple[str, ...]:
+        """All experts used by at least one request, sorted."""
+        used = {expert_id for request in self.requests for expert_id in request.realized_pipeline}
+        return tuple(sorted(used))
+
+    def category_counts(self) -> Dict[str, int]:
+        """Number of requests per category."""
+        counts: Dict[str, int] = {}
+        for request in self.requests:
+            counts[request.category] = counts.get(request.category, 0) + 1
+        return counts
+
+
+def _active_components(
+    board: CircuitBoard, active_fraction: float, rng: np.random.Generator
+) -> List:
+    """Select the component types inspected by one production run.
+
+    A production run inspects the board variant currently being
+    manufactured, which exercises only a subset of the full component
+    library (the CoE model still has to be able to serve every
+    component, which is what makes the memory problem hard).  The
+    subset is sampled deterministically from the stream's seed.
+    """
+    components = list(board.components)
+    if active_fraction >= 1.0:
+        return components
+    count = max(1, int(round(len(components) * active_fraction)))
+    indices = sorted(rng.choice(len(components), size=count, replace=False))
+    return [components[index] for index in indices]
+
+
+def _scan_order_categories(components, num_requests: int) -> List[str]:
+    """Component categories in camera scan order, repeated across passes."""
+    single_pass: List[str] = []
+    for component in components:
+        single_pass.extend([component.name] * component.quantity)
+    categories: List[str] = []
+    while len(categories) < num_requests:
+        categories.extend(single_pass)
+    return categories[:num_requests]
+
+
+def _shuffled_categories(
+    components, num_requests: int, rng: np.random.Generator
+) -> List[str]:
+    """Categories drawn i.i.d. from the components' quantity distribution."""
+    names = [component.name for component in components]
+    quantities = np.array([component.quantity for component in components], dtype=float)
+    probabilities = quantities / quantities.sum()
+    draws = rng.choice(len(names), size=num_requests, p=probabilities)
+    return [names[index] for index in draws]
+
+
+def generate_request_stream(
+    board: CircuitBoard,
+    model: CoEModel,
+    num_requests: int,
+    arrival_interval_ms: float = DEFAULT_ARRIVAL_INTERVAL_MS,
+    seed: int = 0,
+    name: Optional[str] = None,
+    order: str = "scan",
+    active_fraction: float = 1.0,
+) -> RequestStream:
+    """Generate a request stream for a board.
+
+    Parameters
+    ----------
+    board:
+        The circuit board being inspected.
+    model:
+        The inspection CoE model (used to resolve pipelines).
+    num_requests:
+        Number of requests in the stream.
+    arrival_interval_ms:
+        Fixed inter-arrival time (4 ms in the paper).
+    seed:
+        Random seed controlling defect outcomes, the active-component
+        subset, and shuffling when ``order="shuffled"``.
+    order:
+        ``"scan"`` for camera scan order (default, matches production),
+        ``"shuffled"`` for i.i.d. category draws (stress test).
+    active_fraction:
+        Fraction of the board's component types inspected by this
+        production run (1.0 = every type appears in the stream).
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if order not in ("scan", "shuffled"):
+        raise ValueError(f"unknown order '{order}' (expected 'scan' or 'shuffled')")
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError("active_fraction must be in (0, 1]")
+
+    rng = np.random.default_rng(seed)
+    components = _active_components(board, active_fraction, rng)
+    if order == "scan":
+        categories = _scan_order_categories(components, num_requests)
+    else:
+        categories = _shuffled_categories(components, num_requests, rng)
+
+    requests = []
+    for request_id, category in enumerate(categories):
+        realized = model.router.resolve(category, rng)
+        requests.append(
+            RequestSpec(
+                request_id=request_id,
+                arrival_ms=request_id * arrival_interval_ms,
+                category=category,
+                realized_pipeline=realized,
+            )
+        )
+    return RequestStream(
+        name=name or f"{board.name}-{num_requests}",
+        requests=tuple(requests),
+        arrival_interval_ms=arrival_interval_ms,
+        board_name=board.name,
+        seed=seed,
+    )

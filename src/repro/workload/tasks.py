@@ -1,0 +1,115 @@
+"""Evaluation tasks A1, A2, B1 and B2 (§5.1).
+
+* Task A1: 2,500 continuously arriving requests from Circuit Board A.
+* Task A2: 3,500 requests from Circuit Board A.
+* Task B1: 2,500 requests from Circuit Board B.
+* Task B2: 3,500 requests from Circuit Board B.
+
+Requests arrive every 4 ms in all tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.coe.model import CoEModel
+from repro.workload.circuit_board import (
+    CircuitBoard,
+    build_inspection_model,
+    make_board_a,
+    make_board_b,
+)
+from repro.workload.generator import (
+    DEFAULT_ARRIVAL_INTERVAL_MS,
+    RequestStream,
+    generate_request_stream,
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """An evaluation task: a board plus a request count.
+
+    The task lazily builds its board, CoE model and request stream so
+    that defining the standard task set stays cheap.
+    """
+
+    name: str
+    board_factory: Callable[[], CircuitBoard]
+    num_requests: int
+    arrival_interval_ms: float = DEFAULT_ARRIVAL_INTERVAL_MS
+    seed: int = 0
+    #: Fraction of the board's component library a production run
+    #: actually inspects; the full library still has to be servable.
+    active_fraction: float = 0.40
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.arrival_interval_ms <= 0:
+            raise ValueError("arrival_interval_ms must be positive")
+        if not 0.0 < self.active_fraction <= 1.0:
+            raise ValueError("active_fraction must be in (0, 1]")
+
+    def board(self) -> CircuitBoard:
+        """The circuit board this task inspects."""
+        return self.board_factory()
+
+    def model(self, board: Optional[CircuitBoard] = None) -> CoEModel:
+        """The inspection CoE model for this task's board."""
+        return build_inspection_model(board or self.board())
+
+    def request_stream(
+        self,
+        board: Optional[CircuitBoard] = None,
+        model: Optional[CoEModel] = None,
+        num_requests: Optional[int] = None,
+    ) -> RequestStream:
+        """Materialise the task's request arrival stream."""
+        board = board or self.board()
+        model = model or self.model(board)
+        return generate_request_stream(
+            board=board,
+            model=model,
+            num_requests=num_requests or self.num_requests,
+            arrival_interval_ms=self.arrival_interval_ms,
+            seed=self.seed,
+            name=self.name,
+            active_fraction=self.active_fraction,
+        )
+
+    def sample_stream(
+        self,
+        size: int,
+        board: Optional[CircuitBoard] = None,
+        model: Optional[CoEModel] = None,
+    ) -> RequestStream:
+        """A smaller representative stream for offline profiling (§4.4).
+
+        The sample shares the task's seed, so it covers the same
+        production run (same active component subset) as the full
+        stream, just with fewer requests.
+        """
+        return self.request_stream(board=board, model=model, num_requests=size)
+
+
+def standard_tasks() -> Tuple[Task, ...]:
+    """The four evaluation tasks of §5.1."""
+    return (
+        Task(name="A1", board_factory=make_board_a, num_requests=2500, seed=11),
+        Task(name="A2", board_factory=make_board_a, num_requests=3500, seed=12),
+        Task(name="B1", board_factory=make_board_b, num_requests=2500, seed=21),
+        Task(name="B2", board_factory=make_board_b, num_requests=3500, seed=22),
+    )
+
+
+def task_by_name(name: str) -> Task:
+    """Look one of the standard tasks up by name (case-insensitive)."""
+    tasks: Dict[str, Task] = {task.name.lower(): task for task in standard_tasks()}
+    try:
+        return tasks[name.strip().lower()]
+    except KeyError:
+        raise KeyError(f"unknown task '{name}'; expected one of {sorted(tasks)}") from None

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Full-size circuit boards (352 component types, 380 experts) make every
+profiling call noticeably slower, so most tests use a small synthetic
+board that exercises exactly the same code paths; a handful of
+integration tests use the real evaluation workloads at reduced request
+counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.hardware.presets import make_numa_device, make_uma_device
+from repro.serving.base import ServingSystem
+from repro.workload.circuit_board import build_inspection_model, make_board
+from repro.workload.generator import generate_request_stream
+
+
+@pytest.fixture(scope="session")
+def numa_device():
+    return make_numa_device()
+
+
+@pytest.fixture(scope="session")
+def uma_device():
+    return make_uma_device()
+
+
+@pytest.fixture(scope="session")
+def small_board():
+    """A reduced board: 150 component types, 18 shared detection experts.
+
+    Large enough that the working set exceeds the devices' memory (so
+    expert switching actually happens), small enough to keep the test
+    suite fast.
+    """
+    return make_board("T", component_types=150, detection_groups=18, detection_fraction=0.4)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_board):
+    return build_inspection_model(small_board)
+
+
+@pytest.fixture(scope="session")
+def small_stream(small_board, small_model):
+    """A 500-request stream over the reduced board (scan order)."""
+    return generate_request_stream(
+        small_board, small_model, num_requests=500, seed=3, name="small-500"
+    )
+
+
+@pytest.fixture(scope="session")
+def small_usage(small_model, small_stream):
+    return ServingSystem.usage_profile_from_stream(small_model, small_stream)
+
+
+@pytest.fixture(scope="session")
+def pressure_stream(small_board, small_model):
+    """A stream that touches most of the board's experts.
+
+    Categories are drawn i.i.d. (``order="shuffled"``), so nearly every
+    component type appears and the working set far exceeds what either
+    device can keep resident — the regime in which expert switching
+    dominates and the systems differ.
+    """
+    return generate_request_stream(
+        small_board, small_model, num_requests=600, seed=5, name="pressure-600", order="shuffled"
+    )
+
+
+@pytest.fixture(scope="session")
+def pressure_usage(small_model, pressure_stream):
+    return ServingSystem.usage_profile_from_stream(small_model, pressure_stream)
+
+
+@pytest.fixture(scope="session")
+def numa_matrix(numa_device, small_model):
+    return OfflineProfiler(numa_device, small_model).build_performance_matrix()
+
+
+@pytest.fixture(scope="session")
+def uma_matrix(uma_device, small_model):
+    return OfflineProfiler(uma_device, small_model).build_performance_matrix()

@@ -1,0 +1,83 @@
+"""Tests for the expert dependency graph."""
+
+import pytest
+
+from repro.coe.dependency import DependencyGraph
+
+
+@pytest.fixture
+def graph():
+    return DependencyGraph.from_pipelines(
+        [
+            ("cls0", "det0"),
+            ("cls1", "det0"),
+            ("cls2",),
+            ("cls3", "det1"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_pipelines(self, graph):
+        assert len(graph) == 6
+        assert graph.dependency_count() == 3
+
+    def test_add_expert_is_idempotent(self, graph):
+        graph.add_expert("cls0")
+        assert len(graph) == 6
+
+    def test_self_dependency_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_dependency("cls0", "cls0")
+
+    def test_cycle_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add_dependency("det0", "cls0")
+        # The failed edge must not remain in the graph.
+        assert graph.dependency_count() == 3
+
+    def test_empty_expert_id_rejected(self):
+        with pytest.raises(ValueError):
+            DependencyGraph().add_expert("")
+
+
+class TestQueries:
+    def test_preliminary_and_subsequent(self, graph):
+        assert graph.is_preliminary("cls0")
+        assert graph.is_subsequent("det0")
+        assert not graph.is_subsequent("cls2")
+
+    def test_parents_and_children(self, graph):
+        assert graph.preliminary_parents("det0") == ("cls0", "cls1")
+        assert graph.subsequent_children("cls0") == ("det0",)
+        assert graph.subsequent_children("cls2") == ()
+
+    def test_shared_subsequent_experts(self, graph):
+        assert graph.shared_subsequent_experts() == ("det0",)
+
+    def test_has_loaded_preliminary(self, graph):
+        assert graph.has_loaded_preliminary("det0", {"cls1"})
+        assert graph.has_loaded_preliminary("det0", {"cls0", "other"})
+        assert not graph.has_loaded_preliminary("det0", {"cls2", "cls3"})
+        assert not graph.has_loaded_preliminary("det1", set())
+
+    def test_topological_order_puts_preliminaries_first(self, graph):
+        order = graph.topological_order()
+        assert order.index("cls0") < order.index("det0")
+        assert order.index("cls3") < order.index("det1")
+
+    def test_unknown_expert_raises(self, graph):
+        with pytest.raises(KeyError):
+            graph.preliminary_parents("missing")
+        with pytest.raises(KeyError):
+            graph.is_subsequent("missing")
+
+    def test_membership_and_iteration(self, graph):
+        assert "det0" in graph
+        assert "missing" not in graph
+        assert list(graph) == sorted(graph.expert_ids)
+
+    def test_to_networkx_returns_copy(self, graph):
+        nx_graph = graph.to_networkx()
+        nx_graph.add_edge("det0", "new-node")
+        assert "new-node" not in graph

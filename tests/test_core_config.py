@@ -1,0 +1,115 @@
+"""Tests for the configuration information objects (§4.5)."""
+
+import pytest
+
+from repro.coe.probability import UsageProfile
+from repro.core.config import (
+    ConfigurationInfo,
+    ExpertPerformanceRecord,
+    PerformanceMatrix,
+    UserParameters,
+)
+from repro.hardware.processor import ProcessorKind
+from repro.hardware.units import MB
+
+
+def make_record(arch="resnet101", processor=ProcessorKind.GPU, k=2.0, b=8.0, weight=178 * MB):
+    return ExpertPerformanceRecord(
+        architecture=arch,
+        processor=processor,
+        k_ms=k,
+        b_ms=b,
+        max_batch_size=8,
+        activation_bytes_per_sample=100 * MB,
+        weight_bytes=weight,
+        load_latency_ms={"ssd": 900.0, "cpu": 45.0},
+        memory_score=2.1,
+    )
+
+
+class TestExpertPerformanceRecord:
+    def test_linear_prediction(self):
+        record = make_record()
+        assert record.predicted_execution_latency_ms(1) == pytest.approx(10.0)
+        assert record.predicted_execution_latency_ms(4) == pytest.approx(16.0)
+        assert record.predicted_average_latency_ms(4) == pytest.approx(4.0)
+
+    def test_load_latency_lookup(self):
+        record = make_record()
+        assert record.load_latency_from("ssd") == 900.0
+        assert record.load_latency_from("cpu") == 45.0
+        assert record.load_latency_from("unified", default=1.0) == 1.0
+        with pytest.raises(KeyError):
+            record.load_latency_from("unified")
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            make_record().predicted_execution_latency_ms(0)
+
+    def test_invalid_record_rejected(self):
+        with pytest.raises(ValueError):
+            make_record(k=0.0)
+        with pytest.raises(ValueError):
+            make_record(weight=0)
+
+
+class TestPerformanceMatrix:
+    @pytest.fixture
+    def matrix(self):
+        return PerformanceMatrix(
+            {
+                ("resnet101", ProcessorKind.GPU): make_record(),
+                ("resnet101", ProcessorKind.CPU): make_record(processor=ProcessorKind.CPU, k=38.0),
+                ("yolov5m", ProcessorKind.GPU): make_record(arch="yolov5m", weight=85 * MB),
+            }
+        )
+
+    def test_lookup(self, matrix):
+        assert matrix.record("resnet101", ProcessorKind.CPU).k_ms == 38.0
+        assert matrix.has_record("yolov5m", ProcessorKind.GPU)
+        assert not matrix.has_record("yolov5m", ProcessorKind.CPU)
+        with pytest.raises(KeyError):
+            matrix.record("yolov5l", ProcessorKind.GPU)
+
+    def test_architecture_and_processor_listing(self, matrix):
+        assert matrix.architectures == ("resnet101", "yolov5m")
+        assert set(matrix.processors) == {ProcessorKind.GPU, ProcessorKind.CPU}
+
+    def test_memory_score_and_max_batch(self, matrix):
+        assert matrix.memory_score("resnet101") == pytest.approx(2.1)
+        assert matrix.max_batch_size("resnet101", ProcessorKind.GPU) == 8
+        with pytest.raises(KeyError):
+            matrix.memory_score("vgg")
+
+    def test_mean_weight(self, matrix):
+        assert matrix.mean_weight_bytes() == pytest.approx((178 + 85) / 2 * MB)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceMatrix({})
+
+
+class TestUserParametersAndConfiguration:
+    def test_defaults_mean_profiler_decides(self):
+        parameters = UserParameters()
+        assert parameters.gpu_executors is None
+        assert parameters.gpu_expert_count is None
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UserParameters(gpu_executors=-1)
+        with pytest.raises(ValueError):
+            UserParameters(gpu_expert_memory_fraction=1.5)
+        with pytest.raises(ValueError):
+            UserParameters(gpu_expert_count=0)
+
+    def test_configuration_info(self):
+        matrix = PerformanceMatrix({("resnet101", ProcessorKind.GPU): make_record()})
+        config = ConfigurationInfo(
+            performance_matrix=matrix,
+            usage_profile=UsageProfile({"cls/a": 0.5}),
+            scheduling_latency_ms=8.3,
+        )
+        assert config.scheduling_latency_ms == 8.3
+        with pytest.raises(ValueError):
+            ConfigurationInfo(matrix, UsageProfile({"a": 0.1}), scheduling_latency_ms=-1.0)

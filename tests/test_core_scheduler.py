@@ -1,0 +1,167 @@
+"""Tests for dependency-aware request scheduling (§4.2)."""
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.core.scheduler import BatchSplitter, CoServeScheduler, LatencyPredictor
+from repro.hardware.processor import ProcessorKind
+from repro.hardware.units import GB, MB
+from repro.simulation.executor import Executor, ExecutorConfig
+from repro.simulation.request import SimRequest, StageJob
+from repro.workload.generator import RequestSpec
+
+
+@pytest.fixture(scope="module")
+def matrix(numa_device, small_model):
+    return OfflineProfiler(numa_device, small_model).build_performance_matrix()
+
+
+def make_executor(name="gpu-0", kind=ProcessorKind.GPU, pool_gb=3.0, act_gb=2.0):
+    return Executor(ExecutorConfig(name, kind, int(pool_gb * GB), int(act_gb * GB)))
+
+
+def make_job(model, expert_id, request_id=0):
+    spec = RequestSpec(request_id, 0.0, "cat", (expert_id,))
+    return StageJob(request=SimRequest(spec), stage_index=0, expert_id=expert_id, enqueue_ms=0.0)
+
+
+@pytest.fixture
+def expert_ids(small_model):
+    resnet = small_model.experts_of_architecture("resnet101")
+    yolo = small_model.experts_of_architecture("yolov5m")
+    return list(resnet), list(yolo)
+
+
+class TestLatencyPredictor:
+    def test_new_expert_group_costs_k_plus_b_plus_switch(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        predictor = LatencyPredictor(matrix, small_model)
+        executor = make_executor()
+        record = matrix.record("resnet101", ProcessorKind.GPU)
+        predicted = predictor.additional_latency_ms(executor, make_job(small_model, resnet[0]), 0.0)
+        expected = record.k_ms + record.b_ms + record.load_latency_from("ssd")
+        assert predicted == pytest.approx(expected)
+
+    def test_resident_expert_has_no_switching_cost(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        predictor = LatencyPredictor(matrix, small_model)
+        executor = make_executor()
+        executor.pool.load(resnet[0], small_model.expert(resnet[0]).weight_bytes)
+        record = matrix.record("resnet101", ProcessorKind.GPU)
+        predicted = predictor.additional_latency_ms(executor, make_job(small_model, resnet[0]), 0.0)
+        assert predicted == pytest.approx(record.k_ms + record.b_ms)
+
+    def test_joining_existing_group_costs_only_k(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        predictor = LatencyPredictor(matrix, small_model)
+        executor = make_executor()
+        executor.queue.append(make_job(small_model, resnet[0], request_id=1))
+        record = matrix.record("resnet101", ProcessorKind.GPU)
+        predicted = predictor.additional_latency_ms(executor, make_job(small_model, resnet[0], 2), 0.0)
+        assert predicted == pytest.approx(record.k_ms)
+
+    def test_cpu_predictions_use_cpu_record(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        predictor = LatencyPredictor(matrix, small_model)
+        gpu_prediction = predictor.additional_latency_ms(make_executor(), make_job(small_model, resnet[0]), 0.0)
+        cpu_prediction = predictor.additional_latency_ms(
+            make_executor("cpu-0", ProcessorKind.CPU), make_job(small_model, resnet[0]), 0.0
+        )
+        assert cpu_prediction != gpu_prediction
+
+
+class TestBatchSplitter:
+    def test_limited_by_profiled_max_batch(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        splitter = BatchSplitter(matrix, small_model)
+        executor = make_executor(act_gb=100.0)  # effectively unlimited memory
+        record = matrix.record("resnet101", ProcessorKind.GPU)
+        assert splitter.max_batch_size(executor, resnet[0]) == record.max_batch_size
+
+    def test_limited_by_activation_memory(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        splitter = BatchSplitter(matrix, small_model)
+        record = matrix.record("resnet101", ProcessorKind.GPU)
+        executor = make_executor(act_gb=(3 * record.activation_bytes_per_sample) / GB)
+        assert splitter.max_batch_size(executor, resnet[0]) == 3
+
+    def test_batch_size_never_below_one(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        splitter = BatchSplitter(matrix, small_model)
+        executor = make_executor(act_gb=0.0)
+        assert splitter.max_batch_size(executor, resnet[0]) == 1
+
+
+class TestCoServeScheduler:
+    def test_assigns_to_executor_with_resident_expert(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model)
+        executor_a = make_executor("gpu-0")
+        executor_b = make_executor("gpu-1")
+        executor_b.pool.load(resnet[0], small_model.expert(resnet[0]).weight_bytes)
+        job = make_job(small_model, resnet[0])
+        selected = scheduler.select_executor(job, [executor_a, executor_b], 0.0)
+        assert selected is executor_b
+
+    def test_assignment_minimises_total_inference_time(self, matrix, small_model, expert_ids):
+        """Figure 8: the request goes to the queue that keeps the maximum
+        queue finish time smallest."""
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model)
+        busy = make_executor("gpu-0")
+        busy.busy_until_ms = 60_000.0
+        idle = make_executor("gpu-1")
+        job = make_job(small_model, resnet[0])
+        assert scheduler.select_executor(job, [busy, idle], 0.0) is idle
+
+    def test_round_robin_when_assigning_disabled(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model, enable_assigning=False)
+        executors = [make_executor("gpu-0"), make_executor("gpu-1")]
+        selected = [
+            scheduler.select_executor(make_job(small_model, resnet[i], i), executors, 0.0).name
+            for i in range(4)
+        ]
+        assert selected == ["gpu-0", "gpu-1", "gpu-0", "gpu-1"]
+
+    def test_arranging_groups_same_expert_jobs(self, matrix, small_model, expert_ids):
+        """Figure 9: an incoming request is placed right after the last
+        queued request that uses the same expert."""
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model)
+        executor = make_executor()
+        executor.queue.append(make_job(small_model, resnet[0], 0))
+        executor.queue.append(make_job(small_model, resnet[1], 1))
+        job = make_job(small_model, resnet[0], 2)
+        assert scheduler.insertion_index(executor, job, 0.0) == 1
+
+    def test_append_when_arranging_disabled(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model, enable_arranging=False)
+        executor = make_executor()
+        executor.queue.append(make_job(small_model, resnet[0], 0))
+        executor.queue.append(make_job(small_model, resnet[1], 1))
+        job = make_job(small_model, resnet[0], 2)
+        assert scheduler.insertion_index(executor, job, 0.0) == 2
+
+    def test_append_when_expert_not_queued(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model)
+        executor = make_executor()
+        executor.queue.append(make_job(small_model, resnet[0], 0))
+        job = make_job(small_model, resnet[1], 1)
+        assert scheduler.insertion_index(executor, job, 0.0) == 1
+
+    def test_batching_disabled_gives_batch_one(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model, enable_batching=False)
+        assert scheduler.max_batch_size(make_executor(), resnet[0]) == 1
+
+    def test_scheduling_latency_constant(self, matrix, small_model, expert_ids):
+        resnet, _ = expert_ids
+        scheduler = CoServeScheduler(matrix, small_model, scheduling_latency_ms=8.3)
+        assert scheduler.scheduling_latency_ms(make_job(small_model, resnet[0]), 0.0) == 8.3
+
+    def test_negative_scheduling_latency_rejected(self, matrix, small_model):
+        with pytest.raises(ValueError):
+            CoServeScheduler(matrix, small_model, scheduling_latency_ms=-1.0)

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (scaled-down runs of every figure)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_figure01, run_figure11, run_figure13, run_figure15
+from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.experiments.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def quick_context():
+    """A context small enough to run serving experiments in seconds."""
+    settings = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=400,
+        devices=("numa",),
+        task_names=("A1",),
+    )
+    return EvaluationContext(settings)
+
+
+class TestRegistry:
+    def test_every_figure_and_table_is_registered(self):
+        expected = {
+            "table01", "figure01", "figure05", "figure06", "figure11", "figure12",
+            "figure13", "figure14", "figure15", "figure16", "figure17", "figure18", "figure19",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_registry_entries_are_callable(self):
+        assert all(callable(runner) for runner in EXPERIMENTS.values())
+
+
+class TestEvaluationContext:
+    def test_settings_scale_request_counts(self, quick_context):
+        stream = quick_context.stream("A1")
+        assert len(stream) == 400
+
+    def test_full_scale_uses_paper_counts(self):
+        settings = EvaluationSettings(full_scale=True)
+        context = EvaluationContext(settings)
+        assert settings.requests_for(context.task("A2")) == 3500
+
+    def test_artifacts_are_cached(self, quick_context):
+        assert quick_context.stream("A1") is quick_context.stream("A1")
+        assert quick_context.device("numa") is quick_context.device("numa")
+        assert quick_context.performance_matrix("numa", "A1") is quick_context.performance_matrix("numa", "A1")
+
+    def test_unknown_task_rejected(self, quick_context):
+        with pytest.raises(KeyError):
+            quick_context.task("Z9")
+
+
+class TestExperimentResult:
+    def test_to_text_renders_rows_and_notes(self):
+        result = ExperimentResult(
+            name="Figure X", description="demo", rows=({"a": 1, "b": 2.5},), notes="note"
+        )
+        text = result.to_text()
+        assert "Figure X" in text and "note" in text and "2.50" in text
+
+    def test_column_extraction(self):
+        result = ExperimentResult("F", "d", rows=({"a": 1}, {"a": 3}))
+        assert result.column("a") == [1, 3]
+        assert result.column("missing") == [None, None]
+
+
+class TestMotivationFigures:
+    def test_figure01_shares_match_paper_ranges(self, quick_context):
+        result = run_figure01(context=quick_context)
+        ssd_rows = [row for row in result.rows if row["path"] == "SSD to GPU"]
+        assert all(row["switching_share_%"] > 90 for row in ssd_rows)
+        cpu_rows = [row for row in result.rows if row["path"] == "CPU to GPU"]
+        assert all(row["switching_share_%"] > 60 for row in cpu_rows)
+
+    def test_figure11_cdf_between_linear_and_step(self, quick_context):
+        result = run_figure11(context=quick_context)
+        for row in result.rows:
+            assert row["actual_cdf"] >= row["linear_cdf"] - 1e-9
+            assert row["actual_cdf"] <= row["step_cdf"] + 1e-9
+
+
+class TestServingFigures:
+    def test_figure13_coserve_beats_baselines(self, quick_context):
+        result = run_figure13(context=quick_context)
+        throughput = {row["system"]: row["throughput_img_per_s"] for row in result.rows}
+        assert throughput["CoServe Best"] > throughput["Samba-CoE"]
+        assert throughput["CoServe Best"] > throughput["Samba-CoE Parallel"]
+
+    def test_figure15_has_all_ablation_variants(self, quick_context):
+        result = run_figure15(context=quick_context)
+        systems = {row["system"] for row in result.rows}
+        assert systems == {"CoServe None", "CoServe EM", "CoServe EM+RA", "CoServe"}
+
+
+class TestCLI:
+    def test_cli_runs_selected_experiment(self, capsys):
+        exit_code = cli_main(["table01", "--devices", "numa", "--tasks", "A1", "--requests", "200"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "RTX3080Ti".replace("RTX", "RTX ") in output or "3080Ti" in output
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure99"])

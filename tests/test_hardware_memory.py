@@ -1,0 +1,104 @@
+"""Tests for memory regions and tiers."""
+
+import pytest
+
+from repro.hardware.memory import InsufficientMemoryError, MemoryRegion, MemoryTier
+
+
+@pytest.fixture
+def region():
+    return MemoryRegion(name="test.gpu", tier=MemoryTier.GPU, capacity_bytes=1000)
+
+
+class TestMemoryTier:
+    def test_ssd_is_not_volatile(self):
+        assert not MemoryTier.SSD.is_volatile
+
+    def test_working_memory_tiers_are_volatile(self):
+        for tier in (MemoryTier.GPU, MemoryTier.CPU, MemoryTier.UNIFIED):
+            assert tier.is_volatile
+
+    def test_tier_values_are_stable(self):
+        assert MemoryTier.GPU.value == "gpu"
+        assert MemoryTier.UNIFIED.value == "unified"
+
+
+class TestMemoryRegion:
+    def test_initial_state(self, region):
+        assert region.used_bytes == 0
+        assert region.free_bytes == 1000
+        assert region.utilisation == 0.0
+
+    def test_allocate_and_free(self, region):
+        region.allocate("a", 400)
+        assert region.used_bytes == 400
+        assert region.free_bytes == 600
+        assert region.holds("a")
+        assert region.allocation_size("a") == 400
+        assert region.free("a") == 400
+        assert region.used_bytes == 0
+
+    def test_allocate_rejects_duplicate_tag(self, region):
+        region.allocate("a", 100)
+        with pytest.raises(ValueError):
+            region.allocate("a", 100)
+
+    def test_allocate_rejects_negative(self, region):
+        with pytest.raises(ValueError):
+            region.allocate("a", -1)
+
+    def test_allocation_overflow_raises(self, region):
+        region.allocate("a", 900)
+        with pytest.raises(InsufficientMemoryError) as excinfo:
+            region.allocate("b", 200)
+        assert excinfo.value.requested == 200
+        assert excinfo.value.available == 100
+
+    def test_free_unknown_tag_raises(self, region):
+        with pytest.raises(KeyError):
+            region.free("missing")
+
+    def test_resize_within_capacity(self, region):
+        region.allocate("a", 100)
+        region.resize("a", 800)
+        assert region.allocation_size("a") == 800
+
+    def test_resize_beyond_capacity_raises(self, region):
+        region.allocate("a", 100)
+        region.allocate("b", 800)
+        with pytest.raises(InsufficientMemoryError):
+            region.resize("a", 300)
+
+    def test_resize_unknown_tag_raises(self, region):
+        with pytest.raises(KeyError):
+            region.resize("missing", 10)
+
+    def test_utilisation(self, region):
+        region.allocate("a", 250)
+        assert region.utilisation == pytest.approx(0.25)
+
+    def test_zero_capacity_region(self):
+        empty = MemoryRegion(name="none", tier=MemoryTier.CPU, capacity_bytes=0)
+        assert empty.utilisation == 0.0
+        assert not empty.can_fit(1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(name="bad", tier=MemoryTier.CPU, capacity_bytes=-1)
+
+    def test_snapshot_is_a_copy(self, region):
+        region.allocate("a", 10)
+        snapshot = region.snapshot()
+        snapshot["a"] = 999
+        assert region.allocation_size("a") == 10
+
+    def test_clear(self, region):
+        region.allocate("a", 10)
+        region.allocate("b", 20)
+        region.clear()
+        assert region.used_bytes == 0
+        assert not region.holds("a")
+
+    def test_can_fit(self, region):
+        assert region.can_fit(1000)
+        assert not region.can_fit(1001)

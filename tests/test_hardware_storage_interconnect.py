@@ -1,0 +1,66 @@
+"""Tests for the storage and interconnect models."""
+
+import pytest
+
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.storage import StorageDevice
+from repro.hardware.units import MB
+
+
+class TestStorageDevice:
+    def test_from_mb_per_second(self):
+        ssd = StorageDevice.from_mb_per_second("ssd", read_mb_per_s=530.0)
+        assert ssd.read_bandwidth_bytes_per_ms == pytest.approx(530_000.0)
+        # Write bandwidth defaults to the read bandwidth.
+        assert ssd.write_bandwidth_bytes_per_ms == pytest.approx(530_000.0)
+
+    def test_read_latency_scales_with_size(self):
+        ssd = StorageDevice.from_mb_per_second("ssd", 1000.0, access_latency_ms=0.0)
+        assert ssd.read_latency_ms(100 * MB) == pytest.approx(100.0)
+        assert ssd.read_latency_ms(200 * MB) == pytest.approx(200.0)
+
+    def test_access_latency_added(self):
+        ssd = StorageDevice.from_mb_per_second("ssd", 1000.0, access_latency_ms=2.0)
+        assert ssd.read_latency_ms(0) == pytest.approx(2.0)
+
+    def test_write_latency(self):
+        ssd = StorageDevice.from_mb_per_second("ssd", 1000.0, write_mb_per_s=500.0, access_latency_ms=0.0)
+        assert ssd.write_latency_ms(100 * MB) == pytest.approx(200.0)
+
+    def test_faster_ssd_reads_faster(self):
+        slow = StorageDevice.from_mb_per_second("sata", 530.0)
+        fast = StorageDevice.from_mb_per_second("nvme", 3000.0)
+        assert fast.read_latency_ms(178 * MB) < slow.read_latency_ms(178 * MB)
+
+    def test_negative_size_rejected(self):
+        ssd = StorageDevice.from_mb_per_second("ssd", 1000.0)
+        with pytest.raises(ValueError):
+            ssd.read_latency_ms(-1)
+        with pytest.raises(ValueError):
+            ssd.write_latency_ms(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            StorageDevice(name="bad", read_bandwidth_bytes_per_ms=0, write_bandwidth_bytes_per_ms=1)
+        with pytest.raises(ValueError):
+            StorageDevice(name="bad", read_bandwidth_bytes_per_ms=1, write_bandwidth_bytes_per_ms=0)
+
+
+class TestInterconnect:
+    def test_transfer_latency(self):
+        link = Interconnect.from_mb_per_second("pcie", 6000.0, per_transfer_overhead_ms=5.0)
+        assert link.transfer_latency_ms(0) == pytest.approx(5.0)
+        assert link.transfer_latency_ms(60 * MB) == pytest.approx(15.0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(name="bad", bandwidth_bytes_per_ms=0.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(name="bad", bandwidth_bytes_per_ms=1.0, per_transfer_overhead_ms=-1.0)
+
+    def test_negative_size_rejected(self):
+        link = Interconnect.from_mb_per_second("pcie", 6000.0)
+        with pytest.raises(ValueError):
+            link.transfer_latency_ms(-1)

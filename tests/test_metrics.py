@@ -1,0 +1,92 @@
+"""Tests for metric collection and report formatting."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import format_mapping, format_table
+
+
+class TestMetricsCollector:
+    def test_scheduling_accumulation(self):
+        metrics = MetricsCollector()
+        metrics.record_scheduling(8.0)
+        metrics.record_scheduling(4.0)
+        assert metrics.scheduling_decisions == 2
+        assert metrics.total_scheduling_ms == 12.0
+        assert metrics.average_scheduling_latency_ms == 6.0
+
+    def test_negative_scheduling_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().record_scheduling(-1.0)
+
+    def test_load_classification(self):
+        metrics = MetricsCollector()
+        metrics.record_load(0.0, "gpu-0", "e0", "ssd", 900.0, evicted=True)
+        metrics.record_load(1.0, "gpu-0", "e1", "cpu", 45.0, evicted=False)
+        assert metrics.expert_loads == 2
+        assert metrics.expert_switches == 1
+        assert metrics.loads_from_ssd == 1
+        assert metrics.loads_from_cache == 1
+        assert metrics.total_switching_ms == 945.0
+
+    def test_initial_loads_not_counted(self):
+        metrics = MetricsCollector()
+        metrics.record_load(0.0, "gpu-0", "e0", "ssd", 0.0, evicted=False, initial=True)
+        assert metrics.expert_loads == 0
+        assert metrics.expert_switches == 0
+
+    def test_execution_accumulation(self):
+        metrics = MetricsCollector()
+        metrics.record_execution(0.0, "gpu-0", "e0", batch_size=4, latency_ms=20.0)
+        metrics.record_execution(1.0, "gpu-0", "e0", batch_size=2, latency_ms=12.0)
+        assert metrics.batches_executed == 2
+        assert metrics.stages_executed == 6
+        assert metrics.total_execution_ms == 32.0
+
+    def test_switching_share(self):
+        metrics = MetricsCollector()
+        assert metrics.switching_share == 0.0
+        metrics.record_execution(0.0, "gpu-0", "e0", 1, 10.0)
+        metrics.record_load(0.0, "gpu-0", "e0", "ssd", 90.0, evicted=True)
+        assert metrics.switching_share == pytest.approx(0.9)
+
+    def test_events_only_kept_when_requested(self):
+        silent = MetricsCollector(keep_events=False)
+        silent.record_load(0.0, "gpu-0", "e0", "ssd", 1.0, evicted=False)
+        silent.record_execution(0.0, "gpu-0", "e0", 1, 1.0)
+        assert silent.load_events == [] and silent.execution_events == []
+
+        verbose = MetricsCollector(keep_events=True)
+        verbose.record_load(0.0, "gpu-0", "e0", "ssd", 1.0, evicted=False)
+        verbose.record_execution(0.0, "gpu-0", "e0", 1, 1.0)
+        assert len(verbose.load_events) == 1 and len(verbose.execution_events) == 1
+
+
+class TestReportFormatting:
+    def test_format_table_aligns_columns(self):
+        rows = [
+            {"system": "CoServe", "throughput": 26.3},
+            {"system": "Samba-CoE", "throughput": 3.5},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert "system" in lines[0] and "throughput" in lines[0]
+        assert len(lines) == 4
+        assert "CoServe" in lines[2]
+
+    def test_format_table_with_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_missing_cell(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert text  # must not raise
+
+    def test_format_mapping(self):
+        text = format_mapping({"Device": "numa", "GPU": "RTX 3080Ti"}, title="Table 1")
+        assert text.startswith("Table 1")
+        assert "RTX 3080Ti" in text

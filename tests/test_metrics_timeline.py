@@ -1,0 +1,99 @@
+"""Tests for per-executor timelines built from recorded events."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeline import (
+    ExecutorTimeline,
+    TimelineInterval,
+    build_timelines,
+    utilisation_report,
+)
+from repro.policies.lru import LRUPolicy
+from repro.scheduling.fcfs import FCFSScheduling
+from repro.simulation.engine import ServingSimulation, SimulationOptions
+from repro.simulation.executor import ExecutorConfig
+from repro.hardware.processor import ProcessorKind
+from repro.hardware.units import GB
+
+
+class TestTimelineInterval:
+    def test_duration(self):
+        interval = TimelineInterval(10.0, 25.0, "load", "e0")
+        assert interval.duration_ms == 15.0
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineInterval(10.0, 5.0, "load", "e0")
+        with pytest.raises(ValueError):
+            TimelineInterval(0.0, 5.0, "idle", "e0")
+
+
+class TestExecutorTimeline:
+    @pytest.fixture
+    def timeline(self):
+        return ExecutorTimeline(
+            executor_name="gpu-0",
+            intervals=(
+                TimelineInterval(0.0, 900.0, "load", "e0", "from ssd"),
+                TimelineInterval(900.0, 920.0, "execute", "e0", "batch=4"),
+                TimelineInterval(920.0, 965.0, "load", "e1", "from cpu"),
+                TimelineInterval(965.0, 1000.0, "execute", "e1", "batch=8"),
+            ),
+        )
+
+    def test_time_accounting(self, timeline):
+        assert timeline.load_time_ms == pytest.approx(945.0)
+        assert timeline.execution_time_ms == pytest.approx(55.0)
+        assert timeline.busy_time_ms == pytest.approx(1000.0)
+
+    def test_busy_fraction_and_switching_share(self, timeline):
+        assert timeline.busy_fraction(2000.0) == pytest.approx(0.5)
+        assert timeline.busy_fraction(0.0) == 0.0
+        assert timeline.switching_share() == pytest.approx(0.945)
+
+    def test_top_loaded_experts(self, timeline):
+        ranked = timeline.top_loaded_experts(1)
+        assert ranked == [("e0", 900.0)]
+
+
+class TestBuildTimelines:
+    def test_requires_kept_events(self):
+        with pytest.raises(ValueError):
+            build_timelines(MetricsCollector(keep_events=False))
+
+    def test_initial_loads_excluded(self):
+        metrics = MetricsCollector(keep_events=True)
+        metrics.record_load(0.0, "gpu-0", "e0", "ssd", 0.0, evicted=False, initial=True)
+        metrics.record_load(5.0, "gpu-0", "e1", "ssd", 900.0, evicted=True)
+        metrics.record_execution(905.0, "gpu-0", "e1", 2, 12.0)
+        timelines = build_timelines(metrics)
+        assert len(timelines["gpu-0"].intervals) == 2
+        assert timelines["gpu-0"].intervals[0].expert_id == "e1"
+
+    def test_intervals_sorted_by_start_time(self):
+        metrics = MetricsCollector(keep_events=True)
+        metrics.record_execution(50.0, "gpu-0", "e1", 1, 10.0)
+        metrics.record_load(0.0, "gpu-0", "e1", "ssd", 40.0, evicted=False)
+        timelines = build_timelines(metrics)
+        starts = [interval.start_ms for interval in timelines["gpu-0"].intervals]
+        assert starts == sorted(starts)
+
+    def test_from_real_simulation_run(self, numa_device, small_model, small_stream):
+        simulation = ServingSimulation(
+            device=numa_device,
+            model=small_model,
+            executor_configs=[ExecutorConfig("gpu-0", ProcessorKind.GPU, 4 * GB, 1 * GB)],
+            scheduling_policy=FCFSScheduling(batch_size=4),
+            eviction_policy=LRUPolicy(),
+            options=SimulationOptions(keep_metric_events=True),
+        )
+        result = simulation.run(small_stream)
+        timelines = build_timelines(simulation.metrics)
+        assert "gpu-0" in timelines
+        timeline = timelines["gpu-0"]
+        # Execution time recorded in the timeline matches the aggregate metric.
+        assert timeline.execution_time_ms == pytest.approx(result.total_execution_ms, rel=1e-6)
+        report = utilisation_report(timelines, result.makespan_ms)
+        assert report[0]["executor"] == "gpu-0"
+        assert 0 < report[0]["busy_%"] <= 100.0

@@ -1,0 +1,141 @@
+"""Tests for the classic expert replacement policies."""
+
+import pytest
+
+from repro.policies import EvictionContext, FIFOPolicy, LFUPolicy, LRUPolicy, RandomPolicy
+
+
+def make_context(resident, incoming="new", protected=(), queued=(), pool="pool-gpu"):
+    return EvictionContext(
+        pool_name=pool,
+        resident_expert_ids=tuple(resident),
+        incoming_expert_id=incoming,
+        protected_expert_ids=frozenset(protected),
+        queued_expert_ids=frozenset(queued),
+        now_ms=0.0,
+    )
+
+
+class TestEvictionContext:
+    def test_evictable_excludes_incoming_and_protected(self):
+        context = make_context(["a", "b", "c"], incoming="a", protected={"b"})
+        assert context.evictable() == ("c",)
+
+    def test_evictable_preserves_resident_order(self):
+        context = make_context(["c", "a", "b"])
+        assert context.evictable() == ("c", "a", "b")
+
+
+class TestLRU:
+    def test_least_recently_used_first(self):
+        policy = LRUPolicy()
+        for expert in ("a", "b", "c"):
+            policy.record_load("pool-gpu", expert, 0.0)
+        policy.record_access("pool-gpu", "a", 1.0)
+        order = policy.victim_order(make_context(["a", "b", "c"]))
+        assert order == ["b", "c", "a"]
+
+    def test_access_refreshes_recency(self):
+        policy = LRUPolicy()
+        policy.record_load("pool-gpu", "a", 0.0)
+        policy.record_load("pool-gpu", "b", 1.0)
+        policy.record_access("pool-gpu", "a", 2.0)
+        assert policy.victim_order(make_context(["a", "b"]))[0] == "b"
+
+    def test_per_pool_isolation(self):
+        policy = LRUPolicy()
+        policy.record_load("pool-gpu", "a", 0.0)
+        policy.record_load("pool-cpu", "a", 5.0)
+        policy.record_load("pool-gpu", "b", 1.0)
+        assert policy.victim_order(make_context(["a", "b"], pool="pool-gpu"))[0] == "a"
+
+    def test_eviction_forgets_history(self):
+        policy = LRUPolicy()
+        policy.record_load("pool-gpu", "a", 0.0)
+        policy.record_access("pool-gpu", "a", 5.0)
+        policy.record_eviction("pool-gpu", "a", 6.0)
+        policy.record_load("pool-gpu", "b", 7.0)
+        # "a" has no history now, so it sorts before "b".
+        assert policy.victim_order(make_context(["a", "b"]))[0] == "a"
+
+    def test_reset_clears_state(self):
+        policy = LRUPolicy()
+        policy.record_load("pool-gpu", "a", 0.0)
+        policy.reset()
+        order = policy.victim_order(make_context(["a", "b"]))
+        assert order == ["a", "b"]  # ties broken by id
+
+    def test_never_returns_incoming_expert(self):
+        policy = LRUPolicy()
+        order = policy.victim_order(make_context(["a", "b"], incoming="a"))
+        assert "a" not in order
+
+
+class TestFIFO:
+    def test_oldest_load_first_regardless_of_access(self):
+        policy = FIFOPolicy()
+        policy.record_load("p", "a", 0.0)
+        policy.record_load("p", "b", 1.0)
+        policy.record_access("p", "a", 5.0)  # FIFO ignores accesses
+        assert policy.victim_order(make_context(["a", "b"], pool="p")) == ["a", "b"]
+
+    def test_reload_after_eviction_moves_to_back(self):
+        policy = FIFOPolicy()
+        policy.record_load("p", "a", 0.0)
+        policy.record_load("p", "b", 1.0)
+        policy.record_eviction("p", "a", 2.0)
+        policy.record_load("p", "a", 3.0)
+        assert policy.victim_order(make_context(["a", "b"], pool="p")) == ["b", "a"]
+
+
+class TestLFU:
+    def test_least_frequent_first(self):
+        policy = LFUPolicy()
+        for expert in ("a", "b"):
+            policy.record_load("p", expert, 0.0)
+        for _ in range(3):
+            policy.record_access("p", "a", 1.0)
+        policy.record_access("p", "b", 1.0)
+        assert policy.victim_order(make_context(["a", "b"], pool="p")) == ["b", "a"]
+
+    def test_frequency_ties_broken_by_load_order(self):
+        policy = LFUPolicy()
+        policy.record_load("p", "a", 0.0)
+        policy.record_load("p", "b", 1.0)
+        assert policy.victim_order(make_context(["a", "b"], pool="p")) == ["a", "b"]
+
+    def test_eviction_resets_frequency(self):
+        policy = LFUPolicy()
+        policy.record_load("p", "a", 0.0)
+        policy.record_access("p", "a", 1.0)
+        policy.record_eviction("p", "a", 2.0)
+        policy.record_load("p", "a", 3.0)
+        policy.record_load("p", "b", 4.0)
+        policy.record_access("p", "b", 5.0)
+        assert policy.victim_order(make_context(["a", "b"], pool="p"))[0] == "a"
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        residents = [f"e{i}" for i in range(20)]
+        a = RandomPolicy(seed=7).victim_order(make_context(residents))
+        b = RandomPolicy(seed=7).victim_order(make_context(residents))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        residents = [f"e{i}" for i in range(20)]
+        a = RandomPolicy(seed=1).victim_order(make_context(residents))
+        b = RandomPolicy(seed=2).victim_order(make_context(residents))
+        assert a != b
+
+    def test_returns_permutation_of_evictable(self):
+        residents = [f"e{i}" for i in range(10)]
+        order = RandomPolicy(seed=0).victim_order(make_context(residents, incoming="e0"))
+        assert sorted(order) == sorted(residents[1:])
+
+    def test_reset_restores_sequence(self):
+        policy = RandomPolicy(seed=3)
+        first = policy.victim_order(make_context([f"e{i}" for i in range(10)]))
+        policy.reset()
+        second = policy.victim_order(make_context([f"e{i}" for i in range(10)]))
+        assert first == second

@@ -1,0 +1,58 @@
+"""Tests for the serving memory-layout helpers."""
+
+import pytest
+
+from repro.hardware.units import GB, MB
+from repro.serving.layout import (
+    NUMA_CPU_USABLE_FRACTION,
+    NUMA_GPU_USABLE_FRACTION,
+    UMA_GPU_SHARE,
+    UMA_USABLE_FRACTION,
+    clamp_expert_pool,
+    usable_device_budget,
+)
+
+
+class TestUsableBudget:
+    def test_numa_budgets(self, numa_device):
+        budget = usable_device_budget(numa_device, cpu_executors=1)
+        assert budget.gpu_bytes == int(12 * GB * NUMA_GPU_USABLE_FRACTION)
+        assert budget.cpu_bytes == int(16 * GB * NUMA_CPU_USABLE_FRACTION)
+
+    def test_numa_budget_independent_of_cpu_executor_count(self, numa_device):
+        assert usable_device_budget(numa_device, 0) == usable_device_budget(numa_device, 2)
+
+    def test_uma_split_with_cpu_executors(self, uma_device):
+        budget = usable_device_budget(uma_device, cpu_executors=1)
+        usable = int(24 * GB * UMA_USABLE_FRACTION)
+        assert budget.gpu_bytes == int(usable * UMA_GPU_SHARE)
+        assert budget.gpu_bytes + budget.cpu_bytes == usable
+
+    def test_uma_all_to_gpu_without_cpu_executors(self, uma_device):
+        budget = usable_device_budget(uma_device, cpu_executors=0)
+        assert budget.cpu_bytes == 0
+        assert budget.gpu_bytes == int(24 * GB * UMA_USABLE_FRACTION)
+
+    def test_negative_cpu_executor_count_rejected(self, numa_device):
+        with pytest.raises(ValueError):
+            usable_device_budget(numa_device, -1)
+
+
+class TestClampExpertPool:
+    def test_within_bounds_unchanged(self):
+        pool, activation = clamp_expert_pool(2 * GB, 4 * GB, 200 * MB, 300 * MB)
+        assert pool == 2 * GB
+        assert activation == 2 * GB
+
+    def test_pool_raised_to_largest_expert(self):
+        pool, activation = clamp_expert_pool(50 * MB, 4 * GB, 200 * MB, 300 * MB)
+        assert pool == 200 * MB
+
+    def test_pool_lowered_to_leave_activation_memory(self):
+        pool, activation = clamp_expert_pool(4 * GB, 4 * GB, 200 * MB, 300 * MB)
+        assert activation == 300 * MB
+        assert pool == 4 * GB - 300 * MB
+
+    def test_infeasible_budget_rejected(self):
+        with pytest.raises(ValueError):
+            clamp_expert_pool(100 * MB, 400 * MB, 300 * MB, 200 * MB)

@@ -1,0 +1,89 @@
+"""Tests for request stream generation."""
+
+import pytest
+
+from repro.workload.circuit_board import build_inspection_model, make_board
+from repro.workload.generator import RequestSpec, generate_request_stream
+
+
+@pytest.fixture(scope="module")
+def board():
+    return make_board("G", component_types=30, detection_groups=5)
+
+
+@pytest.fixture(scope="module")
+def model(board):
+    return build_inspection_model(board)
+
+
+class TestRequestSpec:
+    def test_properties(self):
+        spec = RequestSpec(0, 0.0, "c", ("cls", "det"))
+        assert spec.preliminary_expert == "cls"
+        assert spec.stage_count == 2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSpec(-1, 0.0, "c", ("cls",))
+        with pytest.raises(ValueError):
+            RequestSpec(0, -1.0, "c", ("cls",))
+        with pytest.raises(ValueError):
+            RequestSpec(0, 0.0, "c", ())
+
+
+class TestStreamGeneration:
+    def test_arrival_interval(self, board, model):
+        stream = generate_request_stream(board, model, 100, arrival_interval_ms=4.0, seed=0)
+        assert len(stream) == 100
+        assert stream[1].arrival_ms - stream[0].arrival_ms == pytest.approx(4.0)
+        assert stream.duration_ms == pytest.approx(99 * 4.0)
+
+    def test_deterministic_for_seed(self, board, model):
+        a = generate_request_stream(board, model, 200, seed=5)
+        b = generate_request_stream(board, model, 200, seed=5)
+        assert [r.realized_pipeline for r in a] == [r.realized_pipeline for r in b]
+        c = generate_request_stream(board, model, 200, seed=6)
+        assert [r.realized_pipeline for r in a] != [r.realized_pipeline for r in c]
+
+    def test_scan_order_groups_same_component(self, board, model):
+        stream = generate_request_stream(board, model, 100, seed=0, order="scan")
+        categories = [r.category for r in stream]
+        # Scan order: the first requests all belong to the first component.
+        first = categories[0]
+        run_length = min(board.component(first).quantity, len(categories))
+        assert categories[:run_length] == [first] * run_length
+
+    def test_shuffled_order_draws_from_distribution(self, board, model):
+        stream = generate_request_stream(board, model, 500, seed=0, order="shuffled")
+        counts = stream.category_counts()
+        most_common = board.components[0].name
+        assert counts.get(most_common, 0) > 0
+
+    def test_pipelines_follow_router(self, board, model):
+        stream = generate_request_stream(board, model, 300, seed=1)
+        for request in stream:
+            potential = model.router.potential_pipeline(request.category)
+            assert request.realized_pipeline == potential[: len(request.realized_pipeline)]
+
+    def test_active_fraction_limits_distinct_categories(self, board, model):
+        full = generate_request_stream(board, model, 400, seed=2, active_fraction=1.0)
+        partial = generate_request_stream(board, model, 400, seed=2, active_fraction=0.3)
+        assert len(set(r.category for r in partial)) < len(set(r.category for r in full))
+
+    def test_total_stage_count_at_least_request_count(self, board, model):
+        stream = generate_request_stream(board, model, 200, seed=3)
+        assert stream.total_stage_count >= len(stream)
+
+    def test_distinct_experts_subset_of_model(self, board, model):
+        stream = generate_request_stream(board, model, 200, seed=3)
+        assert set(stream.distinct_experts()) <= set(model.expert_ids)
+
+    def test_invalid_parameters_rejected(self, board, model):
+        with pytest.raises(ValueError):
+            generate_request_stream(board, model, 0)
+        with pytest.raises(ValueError):
+            generate_request_stream(board, model, 10, order="random")
+        with pytest.raises(ValueError):
+            generate_request_stream(board, model, 10, active_fraction=0.0)
+        with pytest.raises(ValueError):
+            generate_request_stream(board, model, 10, active_fraction=1.5)
