@@ -1,0 +1,127 @@
+"""Microbenchmark for the engine hot path (run-structured queues,
+residency index, O(E) assigning).
+
+A large synthetic stream floods many executors so queues grow long —
+the regime where the pre-optimisation flat-list queue and the
+all-executor residency scans are quadratic.  The same stream is served
+by the optimised engine and by the pre-PR reference implementation
+(:mod:`repro.simulation.reference`); the benchmark asserts both that
+the results are bit-identical and that the optimised hot path is at
+least ``MIN_SPEEDUP``× faster.
+
+Run with ``COSERVE_BENCH_FULL_SCALE=1`` for the full-size stream; the
+default size keeps the check quick enough for CI while the asymptotic
+gap stays far above the asserted floor.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.profiler import OfflineProfiler
+from repro.hardware.presets import make_numa_device
+from repro.serving import CoServeSystem
+from repro.serving.base import ServingSystem
+from repro.simulation.engine import SimulationOptions
+from repro.simulation.reference import referencify
+from repro.workload.circuit_board import build_inspection_model, make_board
+from repro.workload.generator import generate_request_stream
+
+#: Required speedup of the optimised engine over the reference engine.
+MIN_SPEEDUP = 3.0
+
+
+def _full_scale() -> bool:
+    return os.environ.get("COSERVE_BENCH_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="module")
+def hotpath_case():
+    """Board, model, flood stream and profiled matrix for the benchmark.
+
+    Quick mode serves 16k requests on the paper's NUMA configuration
+    (3 GPU + 1 CPU executors); full scale serves 40k requests across
+    8 executors.  Either way the asymptotic gap sits well above the
+    asserted ``MIN_SPEEDUP`` floor (~4× measured), so normal timer
+    noise cannot flake the check.
+    """
+    board = make_board("HP", component_types=220, detection_groups=22, detection_fraction=0.4)
+    model = build_inspection_model(board)
+    if _full_scale():
+        num_requests, gpu_executors, cpu_executors = 40000, 6, 2
+    else:
+        num_requests, gpu_executors, cpu_executors = 16000, 3, 1
+    # A sub-millisecond arrival interval floods the executors, so queue
+    # lengths reach the thousands and O(n) queue operations dominate
+    # the reference engine.
+    stream = generate_request_stream(
+        board,
+        model,
+        num_requests=num_requests,
+        arrival_interval_ms=0.25,
+        seed=17,
+        name=f"hotpath-{num_requests}",
+        order="shuffled",
+    )
+    usage = ServingSystem.usage_profile_from_stream(model, stream)
+    device = make_numa_device()
+    matrix = OfflineProfiler(device, model).build_performance_matrix()
+    return device, model, stream, usage, matrix, gpu_executors, cpu_executors
+
+
+def _build_simulation(hotpath_case):
+    device, model, _, usage, matrix, gpu_executors, cpu_executors = hotpath_case
+    system = CoServeSystem(
+        device,
+        model,
+        usage,
+        gpu_executors=gpu_executors,
+        cpu_executors=cpu_executors,
+        performance_matrix=matrix,
+        scheduling_latency_ms=0.0,
+        options=SimulationOptions(keep_request_records=False),
+    )
+    return system.build_simulation()
+
+
+def _timed_run(simulation, stream):
+    start = time.perf_counter()
+    result = simulation.run(stream)
+    return time.perf_counter() - start, result
+
+
+def _best_of_two(build, stream):
+    """Min-of-two timing on fresh engines, to damp scheduler/CPU noise."""
+    first_elapsed, result = _timed_run(build(), stream)
+    second_elapsed, second_result = _timed_run(build(), stream)
+    assert result == second_result, "simulation is not deterministic across runs"
+    return min(first_elapsed, second_elapsed), result
+
+
+def test_engine_hotpath_speedup(hotpath_case):
+    stream = hotpath_case[2]
+
+    # Warm up interpreter/caches on a fresh engine so neither side pays
+    # first-run costs inside the timed region.
+    _timed_run(_build_simulation(hotpath_case), stream)
+
+    fast_elapsed, fast_result = _best_of_two(lambda: _build_simulation(hotpath_case), stream)
+    slow_elapsed, slow_result = _best_of_two(
+        lambda: referencify(_build_simulation(hotpath_case)), stream
+    )
+
+    assert fast_result == slow_result, "optimised engine changed the simulated result"
+
+    speedup = slow_elapsed / fast_elapsed
+    print(
+        f"\nengine hot path: reference {slow_elapsed * 1000:.0f} ms, "
+        f"optimised {fast_elapsed * 1000:.0f} ms, speedup {speedup:.1f}x "
+        f"({len(stream)} requests)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"hot-path speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(reference {slow_elapsed:.3f}s, optimised {fast_elapsed:.3f}s)"
+    )

@@ -27,10 +27,10 @@ built (§5.3).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.coe.model import CoEModel
-from repro.core.config import PerformanceMatrix
+from repro.core.config import ExpertPerformanceRecord, PerformanceMatrix
 from repro.hardware.memory import MemoryTier
 from repro.hardware.processor import ProcessorKind
 from repro.simulation.executor import Executor
@@ -41,11 +41,36 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.engine import ServingSimulation
 
 
+class _RecordCache:
+    """Memoised (expert, processor) → performance-record lookups.
+
+    ``PerformanceMatrix.record`` resolves a tuple key behind a
+    try/except, behind the expert → architecture indirection; the
+    predictor and splitter ask for the same few records thousands of
+    times per run, so a flat local dict keeps the hot path to one
+    ``dict.get``.
+    """
+
+    def __init__(self, matrix: PerformanceMatrix, model: CoEModel) -> None:
+        self._matrix = matrix
+        self._model = model
+        self._by_expert: Dict[Tuple[str, ProcessorKind], ExpertPerformanceRecord] = {}
+
+    def record_for_expert(self, expert_id: str, processor: ProcessorKind) -> ExpertPerformanceRecord:
+        key = (expert_id, processor)
+        record = self._by_expert.get(key)
+        if record is None:
+            expert = self._model.expert(expert_id)
+            record = self._matrix.record(expert.architecture_name, processor)
+            self._by_expert[key] = record
+        return record
+
+
 class LatencyPredictor:
     """Predicts the additional inference latency of scheduling decisions."""
 
     def __init__(self, matrix: PerformanceMatrix, model: CoEModel) -> None:
-        self._matrix = matrix
+        self._records = _RecordCache(matrix, model)
         self._model = model
         self._simulation: Optional["ServingSimulation"] = None
 
@@ -53,35 +78,36 @@ class LatencyPredictor:
         self._simulation = simulation
 
     def _expert_location_tier(self, executor: Executor, expert_id: str) -> str:
-        """Tier the expert would be loaded from if it is not resident."""
-        if self._simulation is None:
+        """Tier the expert would be loaded from if it is not resident.
+
+        Resolved through the engine's global residency index (an O(1)
+        lookup) rather than scanning every executor's pool.
+        """
+        simulation = self._simulation
+        if simulation is None:
             return MemoryTier.SSD.value
-        if self._simulation.host_cache is not None and self._simulation.host_cache.contains(expert_id):
+        if simulation.host_cache is not None and simulation.host_cache.contains(expert_id):
             return MemoryTier.CPU.value
-        for other in self._simulation.executors:
-            if other.pool is executor.pool:
-                continue
-            if other.pool.contains(expert_id):
-                return self._simulation.device.memory_tier_for(other.kind).value
-        return MemoryTier.SSD.value
+        tier = simulation.residency.best_source_tier(expert_id, exclude_pool=executor.pool)
+        return tier.value if tier is not None else MemoryTier.SSD.value
 
     def additional_latency_ms(self, executor: Executor, job: StageJob, now_ms: float) -> float:
         """Predicted additional latency of appending ``job`` to ``executor``."""
-        expert = self._model.expert(job.expert_id)
-        record = self._matrix.record(expert.architecture_name, executor.kind)
+        expert_id = job.expert_id
+        record = self._records.record_for_expert(expert_id, executor.kind)
 
-        joins_existing_group = executor.queue.contains_expert(job.expert_id)
-        if joins_existing_group:
-            execution = record.k_ms
-        else:
-            execution = record.k_ms + record.b_ms
-
-        switching = 0.0
-        if not joins_existing_group and not executor.pool.contains(job.expert_id):
-            source_tier = self._expert_location_tier(executor, job.expert_id)
-            switching = record.load_latency_from(
-                source_tier, default=record.load_latency_from(MemoryTier.SSD.value)
-            )
+        # A job joining an existing same-expert group only costs K and
+        # can never trigger a load; otherwise it costs K + B plus the
+        # switching latency from wherever the expert currently sits.
+        if executor.queue.contains_expert(expert_id):
+            return record.k_ms
+        execution = record.k_ms + record.b_ms
+        if executor.pool.contains(expert_id):
+            return execution
+        source_tier = self._expert_location_tier(executor, expert_id)
+        switching = record.load_latency_ms.get(source_tier)
+        if switching is None:
+            switching = record.load_latency_from(MemoryTier.SSD.value)
         return execution + switching
 
 
@@ -89,13 +115,12 @@ class BatchSplitter:
     """Computes the current maximum executable batch size (§4.2)."""
 
     def __init__(self, matrix: PerformanceMatrix, model: CoEModel) -> None:
-        self._matrix = matrix
+        self._records = _RecordCache(matrix, model)
         self._model = model
 
     def max_batch_size(self, executor: Executor, expert_id: str) -> int:
         """Smaller of the profiled maximum and the memory-feasible batch."""
-        expert = self._model.expert(expert_id)
-        record = self._matrix.record(expert.architecture_name, executor.kind)
+        record = self._records.record_for_expert(expert_id, executor.kind)
         if record.activation_bytes_per_sample <= 0:
             memory_limit = record.max_batch_size
         else:
@@ -146,15 +171,24 @@ class CoServeScheduler(SchedulingPolicy):
         self.enable_arranging = enable_arranging
         self.enable_batching = enable_batching
         self._round_robin_cursor = 0
+        #: (job, executor, value) of the additional latency computed
+        #: while assigning, so the engine's follow-up
+        #: ``predicted_additional_latency_ms`` call for the chosen
+        #: executor does not recompute it.  Holds the objects
+        #: themselves: identity comparison then cannot be fooled by a
+        #: freed job's id being recycled.
+        self._last_prediction: Optional[Tuple[StageJob, Executor, float]] = None
 
     # ------------------------------------------------------------------
     # SchedulingPolicy interface
     # ------------------------------------------------------------------
     def attach(self, simulation: "ServingSimulation") -> None:
         self._predictor.attach(simulation)
+        self._last_prediction = None
 
     def reset(self) -> None:
         self._round_robin_cursor = 0
+        self._last_prediction = None
 
     def scheduling_latency_ms(self, job: StageJob, now_ms: float) -> float:
         return self._scheduling_latency_ms
@@ -162,6 +196,11 @@ class CoServeScheduler(SchedulingPolicy):
     def predicted_additional_latency_ms(
         self, executor: Executor, job: StageJob, now_ms: float
     ) -> float:
+        memo = self._last_prediction
+        if memo is not None:
+            self._last_prediction = None
+            if memo[0] is job and memo[1] is executor:
+                return memo[2]
         return self._predictor.additional_latency_ms(executor, job, now_ms)
 
     def select_executor(
@@ -181,6 +220,12 @@ class CoServeScheduler(SchedulingPolicy):
             return len(executor.queue)
         return grouped_index
 
+    def enqueue(self, executor: Executor, job: StageJob, now_ms: float) -> None:
+        if self.enable_arranging:
+            executor.queue.insert_grouped(job)
+        else:
+            executor.queue.append(job)
+
     def max_batch_size(self, executor: Executor, expert_id: str) -> int:
         if not self.enable_batching:
             return 1
@@ -192,25 +237,49 @@ class CoServeScheduler(SchedulingPolicy):
     def _assign_by_total_inference_time(
         self, job: StageJob, executors: Sequence[Executor], now_ms: float
     ) -> Executor:
-        finish_times = {
-            executor.name: executor.estimated_finish_ms(now_ms) for executor in executors
-        }
-        additional = {
-            executor.name: self._predictor.additional_latency_ms(executor, job, now_ms)
+        """Pick the queue minimising the total inference time, in O(E).
+
+        The candidate total for executor *i* is
+        ``max(max_{j≠i} finish_j, finish_i + additional_i)``; computing
+        the top-2 finish times once replaces the per-candidate
+        max-over-others loop (which made each decision O(E²)).
+        """
+        if len(executors) == 1:
+            executor = executors[0]
+            self._last_prediction = (
+                job,
+                executor,
+                self._predictor.additional_latency_ms(executor, job, now_ms),
+            )
+            return executor
+
+        finishes = [executor.estimated_finish_ms(now_ms) for executor in executors]
+        additionals = [
+            self._predictor.additional_latency_ms(executor, job, now_ms)
             for executor in executors
-        }
+        ]
+
+        max1 = max2 = float("-inf")
+        max1_index = -1
+        for index, finish in enumerate(finishes):
+            if finish > max1:
+                max2 = max1
+                max1 = finish
+                max1_index = index
+            elif finish > max2:
+                max2 = finish
 
         best_executor: Optional[Executor] = None
         best_key: Optional[tuple] = None
-        for executor in executors:
-            others_max = max(
-                (finish_times[other.name] for other in executors if other is not executor),
-                default=0.0,
-            )
-            candidate_total = max(others_max, finish_times[executor.name] + additional[executor.name])
-            key = (candidate_total, additional[executor.name], executor.name)
+        best_index = -1
+        for index, executor in enumerate(executors):
+            others_max = max2 if index == max1_index else max1
+            candidate_total = max(others_max, finishes[index] + additionals[index])
+            key = (candidate_total, additionals[index], executor.name)
             if best_key is None or key < best_key:
                 best_key = key
                 best_executor = executor
+                best_index = index
         assert best_executor is not None
+        self._last_prediction = (job, best_executor, additionals[best_index])
         return best_executor

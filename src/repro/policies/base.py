@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import AbstractSet, List, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -34,7 +34,9 @@ class EvictionContext:
         executed by an executor sharing the pool).
     queued_expert_ids:
         Experts required by jobs still waiting in the executor's queue;
-        smarter policies prefer not to evict these.
+        smarter policies prefer not to evict these.  May be any set-like
+        collection with O(1) membership — the engine passes the queue's
+        live expert view to avoid materialising a set per eviction.
     now_ms:
         Current virtual time.
     """
@@ -42,8 +44,8 @@ class EvictionContext:
     pool_name: str
     resident_expert_ids: Tuple[str, ...]
     incoming_expert_id: str
-    protected_expert_ids: FrozenSet[str] = frozenset()
-    queued_expert_ids: FrozenSet[str] = frozenset()
+    protected_expert_ids: AbstractSet[str] = frozenset()
+    queued_expert_ids: AbstractSet[str] = frozenset()
     now_ms: float = 0.0
 
     def evictable(self) -> Tuple[str, ...]:

@@ -22,6 +22,33 @@ on the same processor do not multiply raw compute throughput.
 All decisions are delegated to the scheduling policy (assignment,
 arrangement, batch-size limit) and the eviction policy (victim order),
 so Samba-CoE, its variants and CoServe all run on this single engine.
+
+Hot-path data structures
+------------------------
+
+Every figure/table reproduction replays thousands of stage jobs through
+this loop, so the engine is organised around constant-time lookups
+rather than scans:
+
+* **Run-structured queues** — each executor's
+  :class:`~repro.simulation.queueing.RequestQueue` stores a deque of
+  same-expert *runs* plus an expert → last-run map, making tail
+  appends, grouped insertion (request arranging) and head-run pops all
+  O(1) amortised; the former flat-list queue paid O(n) per ``pop(0)``
+  and O(n) per grouped insert.
+* **Global residency index** — a
+  :class:`~repro.simulation.residency.ResidencyIndex` maps each expert
+  to the pools/tiers currently holding it, maintained by listeners on
+  every pool load/evict and host-cache put/remove.  Locating the
+  fastest source tier for a load (here and in the scheduler's latency
+  predictor) is an O(1) lookup instead of an all-executor scan.
+* **O(E) request assigning** — CoServe's scheduler picks the queue
+  minimising total inference time with a single top-2 finish-time pass
+  over executors instead of the O(E²) per-job max-over-others loop.
+
+All three are pure data-structure changes: simulated results are
+bit-identical to the scan-based engine (see
+:mod:`repro.simulation.reference` and the equivalence tests).
 """
 
 from __future__ import annotations
@@ -40,6 +67,7 @@ from repro.simulation.executor import Executor, ExecutorConfig
 from repro.simulation.host_cache import HostCache
 from repro.simulation.interfaces import SchedulingPolicy
 from repro.simulation.request import SimRequest, StageJob, StageRecord
+from repro.simulation.residency import ResidencyIndex
 from repro.simulation.resources import SerialResource
 from repro.simulation.results import ExecutorSummary, SimulationResult
 from repro.workload.generator import RequestStream
@@ -111,11 +139,25 @@ class ServingSimulation:
         self.system_name = system_name
 
         self._executors: List[Executor] = self._build_executors(executor_configs)
+        self._executors_by_name: Dict[str, Executor] = {
+            executor.name: executor for executor in self._executors
+        }
         self._validate_memory_budgets(host_cache_bytes)
 
         self.host_cache: Optional[HostCache] = None
         if host_cache_bytes > 0 and not device.is_uma:
             self.host_cache = HostCache(host_cache_bytes)
+
+        self.residency = ResidencyIndex()
+        registered_pools = set()
+        for rank, executor in enumerate(self._executors):
+            if executor.pool not in registered_pools:
+                registered_pools.add(executor.pool)
+                self.residency.register_pool(
+                    executor.pool, device.memory_tier_for(executor.kind), rank
+                )
+        if self.host_cache is not None:
+            self.residency.register_host_cache(self.host_cache)
 
         self._compute_resources: Dict[ProcessorKind, SerialResource] = {
             executor.kind: SerialResource(name=f"compute-{executor.kind.value}")
@@ -182,10 +224,10 @@ class ServingSimulation:
         return tuple(self._executors)
 
     def executor(self, name: str) -> Executor:
-        for executor in self._executors:
-            if executor.name == name:
-                return executor
-        raise KeyError(f"no executor named '{name}'")
+        try:
+            return self._executors_by_name[name]
+        except KeyError:
+            raise KeyError(f"no executor named '{name}'") from None
 
     def executors_of_kind(self, kind: ProcessorKind) -> Tuple[Executor, ...]:
         return tuple(executor for executor in self._executors if executor.kind is kind)
@@ -297,8 +339,7 @@ class ServingSimulation:
         job.predicted_latency_ms = self.scheduling_policy.predicted_additional_latency_ms(
             executor, job, now
         )
-        index = self.scheduling_policy.insertion_index(executor, job, now)
-        executor.queue.insert(index, job)
+        self.scheduling_policy.enqueue(executor, job, now)
 
         if executor.idle:
             executor.idle = False
@@ -361,16 +402,14 @@ class ServingSimulation:
         Preference order: the host-memory cache, then any other model
         pool on the device (another processor's pool reached over the
         interconnect / unified-memory reorganisation path), then the
-        SSD.
+        SSD.  The host cache is probed through ``lookup`` because a hit
+        must refresh LRU recency; pools are resolved through the global
+        residency index instead of scanning every executor.
         """
         if self.host_cache is not None and self.host_cache.lookup(expert_id):
             return MemoryTier.CPU
-        for other in self._executors:
-            if other.pool is executor.pool:
-                continue
-            if other.pool.contains(expert_id):
-                return self.device.memory_tier_for(other.kind)
-        return MemoryTier.SSD
+        tier = self.residency.best_source_tier(expert_id, exclude_pool=executor.pool)
+        return tier if tier is not None else MemoryTier.SSD
 
     def _load_expert(self, executor: Executor, expert, now: float) -> float:
         """Evict as needed, load the expert, and return the ready time."""
@@ -389,7 +428,7 @@ class ServingSimulation:
                 resident_expert_ids=pool.resident_expert_ids(),
                 incoming_expert_id=expert.expert_id,
                 protected_expert_ids=frozenset(protected),
-                queued_expert_ids=frozenset(executor.queue.queued_expert_ids()),
+                queued_expert_ids=executor.queue.queued_expert_view(),
                 now_ms=now,
             )
             for victim in self.eviction_policy.victim_order(context):

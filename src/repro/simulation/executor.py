@@ -83,6 +83,11 @@ class Executor:
 
     def __init__(self, config: ExecutorConfig, pool: Optional[ModelPool] = None) -> None:
         self.config = config
+        #: Mirrored from the config as plain attributes: name/kind
+        #: lookups sit on the engine's per-event hot path.
+        self.name: str = config.name
+        self.kind: ProcessorKind = config.processor_kind
+        self.activation_budget_bytes: int = config.activation_budget_bytes
         self.pool = pool if pool is not None else ModelPool(
             name=f"{config.name}.pool", capacity_bytes=config.expert_pool_bytes
         )
@@ -93,18 +98,6 @@ class Executor:
         #: protected from eviction by executors sharing the pool.
         self.current_expert_id: Optional[str] = None
         self.stats = ExecutorStats()
-
-    @property
-    def name(self) -> str:
-        return self.config.name
-
-    @property
-    def kind(self) -> ProcessorKind:
-        return self.config.processor_kind
-
-    @property
-    def activation_budget_bytes(self) -> int:
-        return self.config.activation_budget_bytes
 
     def estimated_finish_ms(self, now_ms: float) -> float:
         """Predicted completion time of all currently queued work.

@@ -8,12 +8,16 @@ semantics and is shared by every GPU executor of a device.
 
 UMA devices have no separate host tier, so they simply do not create a
 cache.
+
+Used bytes are tracked incrementally and membership changes are
+reported to registered listeners (the engine's residency index), so
+capacity checks and lookups stay O(1) however full the cache is.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 
 class HostCache:
@@ -24,18 +28,34 @@ class HostCache:
             raise ValueError("capacity_bytes must be non-negative")
         self.capacity_bytes = capacity_bytes
         self._resident: "OrderedDict[str, int]" = OrderedDict()
+        self._used_bytes = 0
+        self._listeners: List[object] = []
         self.insertions = 0
         self.evictions = 0
         self.hits = 0
         self.misses = 0
 
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register an observer notified of every insertion and removal.
+
+        Listeners implement ``on_host_cache_put(cache, expert_id)`` and
+        ``on_host_cache_remove(cache, expert_id)``.
+        """
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
-        return sum(self._resident.values())
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._used_bytes
 
     @property
     def resident_count(self) -> int:
@@ -56,6 +76,9 @@ class HostCache:
         self.misses += 1
         return False
 
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def put(self, expert_id: str, num_bytes: int) -> bool:
         """Insert an expert, evicting LRU entries until it fits.
 
@@ -69,16 +92,32 @@ class HostCache:
         if expert_id in self._resident:
             self._resident.move_to_end(expert_id)
             return True
-        while self.free_bytes < num_bytes and self._resident:
-            self._resident.popitem(last=False)
+        while self._used_bytes + num_bytes > self.capacity_bytes and self._resident:
+            victim, freed = self._resident.popitem(last=False)
+            self._used_bytes -= freed
             self.evictions += 1
+            for listener in self._listeners:
+                listener.on_host_cache_remove(self, victim)
         self._resident[expert_id] = num_bytes
+        self._used_bytes += num_bytes
         self.insertions += 1
+        for listener in self._listeners:
+            listener.on_host_cache_put(self, expert_id)
         return True
 
     def remove(self, expert_id: str) -> Optional[int]:
         """Drop an expert from the cache if present."""
-        return self._resident.pop(expert_id, None)
+        freed = self._resident.pop(expert_id, None)
+        if freed is not None:
+            self._used_bytes -= freed
+            for listener in self._listeners:
+                listener.on_host_cache_remove(self, expert_id)
+        return freed
 
     def clear(self) -> None:
+        removed = tuple(self._resident)
         self._resident.clear()
+        self._used_bytes = 0
+        for expert_id in removed:
+            for listener in self._listeners:
+                listener.on_host_cache_remove(self, expert_id)

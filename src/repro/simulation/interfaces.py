@@ -44,6 +44,21 @@ class SchedulingPolicy(abc.ABC):
         """Queue position for the job (request arranging); default: tail."""
         return len(executor.queue)
 
+    def enqueue(self, executor: Executor, job: StageJob, now_ms: float) -> None:
+        """Place the job in the executor's queue (request arranging).
+
+        The engine calls this instead of pairing :meth:`insertion_index`
+        with an index-based insert, so policies can use the queue's O(1)
+        operations (``append`` / ``insert_grouped``) directly.  The
+        default honours a custom :meth:`insertion_index` override while
+        turning the common tail case into a constant-time append.
+        """
+        index = self.insertion_index(executor, job, now_ms)
+        if index >= len(executor.queue):
+            executor.queue.append(job)
+        else:
+            executor.queue.insert(index, job)
+
     def max_batch_size(self, executor: Executor, expert_id: str) -> int:
         """Upper bound on the batch the executor may run for this expert
         (request splitting); default: no batching."""

@@ -4,11 +4,17 @@ The model pool is the working-memory area an executor keeps loaded
 experts in (Figure 7).  It is a byte-accounted set: experts are loaded
 until the pool's capacity is reached, after which the eviction policy
 must free space.
+
+Used bytes are tracked incrementally (``can_fit`` sits on the engine's
+expert-load hot path), and every membership change is reported to
+registered listeners — the engine hooks the global
+:class:`~repro.simulation.residency.ResidencyIndex` in this way so
+expert lookups never have to scan pools.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 
 class ModelPool:
@@ -20,17 +26,30 @@ class ModelPool:
         self.name = name
         self.capacity_bytes = capacity_bytes
         self._resident: Dict[str, int] = {}
+        self._used_bytes = 0
+        self._listeners: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register an observer notified of every load and eviction.
+
+        Listeners implement ``on_pool_load(pool, expert_id)`` and
+        ``on_pool_evict(pool, expert_id)``.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def used_bytes(self) -> int:
-        return sum(self._resident.values())
+        return self._used_bytes
 
     @property
     def free_bytes(self) -> int:
-        return self.capacity_bytes - self.used_bytes
+        return self.capacity_bytes - self._used_bytes
 
     @property
     def resident_count(self) -> int:
@@ -54,7 +73,7 @@ class ModelPool:
         return self._resident[expert_id]
 
     def can_fit(self, num_bytes: int) -> bool:
-        return num_bytes <= self.free_bytes
+        return num_bytes <= self.capacity_bytes - self._used_bytes
 
     # ------------------------------------------------------------------
     # Mutation
@@ -71,15 +90,27 @@ class ModelPool:
                 f"'{self.name}' ({self.free_bytes} bytes free)"
             )
         self._resident[expert_id] = num_bytes
+        self._used_bytes += num_bytes
+        for listener in self._listeners:
+            listener.on_pool_load(self, expert_id)
 
     def evict(self, expert_id: str) -> int:
         """Remove an expert from the pool and return its size."""
         if expert_id not in self._resident:
             raise KeyError(f"expert '{expert_id}' is not resident in pool '{self.name}'")
-        return self._resident.pop(expert_id)
+        freed = self._resident.pop(expert_id)
+        self._used_bytes -= freed
+        for listener in self._listeners:
+            listener.on_pool_evict(self, expert_id)
+        return freed
 
     def clear(self) -> None:
+        evicted = tuple(self._resident)
         self._resident.clear()
+        self._used_bytes = 0
+        for expert_id in evicted:
+            for listener in self._listeners:
+                listener.on_pool_evict(self, expert_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

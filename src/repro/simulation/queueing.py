@@ -11,14 +11,42 @@ need:
 * cheap bookkeeping of which experts have queued jobs and of the
   predicted total inference time of the queue (used by request
   assigning, §4.2 / Figure 8).
+
+Internally the queue is *run-structured*: instead of one flat job list
+it keeps a deque of :class:`_Run` objects, each holding the consecutive
+jobs that share one expert, plus an expert → last-run map.  The hot
+operations are then all O(1) amortised:
+
+* :meth:`append` merges into the tail run or starts a new one,
+* :meth:`insert_grouped` (request arranging) appends to the expert's
+  last run directly instead of scanning for an insertion index, and
+* :meth:`pop_head_run` pops jobs off the head run without shifting the
+  rest of the queue (the flat-list version paid O(n) per ``pop(0)``).
+
+An invariant maintained by every mutation is that no two adjacent runs
+share an expert, so the head run is exactly the maximal same-expert
+prefix the batch splitter wants.  The index-based helpers
+(:meth:`insert`, :meth:`index_after_last`) are kept for compatibility
+and for custom scheduling policies; they cost O(n) and are not used by
+the engine's hot path.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Iterator, List, Optional, Tuple
+from collections import Counter, deque
+from typing import Deque, Dict, Iterator, KeysView, List, Optional, Tuple
 
 from repro.simulation.request import StageJob
+
+
+class _Run:
+    """A maximal block of consecutive queued jobs sharing one expert."""
+
+    __slots__ = ("expert_id", "jobs")
+
+    def __init__(self, expert_id: str) -> None:
+        self.expert_id = expert_id
+        self.jobs: Deque[StageJob] = deque()
 
 
 class RequestQueue:
@@ -26,27 +54,36 @@ class RequestQueue:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._jobs: List[StageJob] = []
+        self._runs: Deque[_Run] = deque()
+        #: expert_id -> the tail-most run holding that expert.
+        self._last_run: Dict[str, _Run] = {}
         self._expert_counts: Counter = Counter()
         self._pending_latency_ms = 0.0
+        self._size = 0
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._jobs)
+        return self._size
 
     def __iter__(self) -> Iterator[StageJob]:
-        return iter(self._jobs)
+        for run in self._runs:
+            yield from run.jobs
 
     @property
     def is_empty(self) -> bool:
-        return not self._jobs
+        return self._size == 0
 
     @property
     def jobs(self) -> Tuple[StageJob, ...]:
         """A read-only snapshot of the queued jobs."""
-        return tuple(self._jobs)
+        return tuple(self)
+
+    @property
+    def run_count(self) -> int:
+        """Number of same-expert runs currently in the queue."""
+        return len(self._runs)
 
     @property
     def pending_latency_ms(self) -> float:
@@ -55,51 +92,113 @@ class RequestQueue:
 
     def contains_expert(self, expert_id: str) -> bool:
         """Whether any queued job requires the expert."""
-        return self._expert_counts.get(expert_id, 0) > 0
+        return expert_id in self._expert_counts
 
     def expert_job_count(self, expert_id: str) -> int:
         """Number of queued jobs requiring the expert."""
         return self._expert_counts.get(expert_id, 0)
 
-    def queued_expert_ids(self) -> Tuple[str, ...]:
+    def queued_expert_ids(self) -> frozenset:
         """Experts required by at least one queued job."""
-        return tuple(sorted(expert for expert, count in self._expert_counts.items() if count > 0))
+        return frozenset(self._expert_counts)
+
+    def queued_expert_view(self) -> KeysView:
+        """Live view of the queued experts (no per-call materialisation).
+
+        The view supports O(1) membership tests and stays valid only
+        until the queue is next mutated; the engine hands it to the
+        eviction policy, which finishes with it before the queue moves.
+        """
+        return self._expert_counts.keys()
 
     def head_expert_id(self) -> Optional[str]:
         """Expert required by the job at the head of the queue."""
-        if not self._jobs:
+        if not self._runs:
             return None
-        return self._jobs[0].expert_id
+        return self._runs[0].expert_id
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def append(self, job: StageJob) -> int:
-        """Append a job at the tail; returns its index."""
-        return self.insert(len(self._jobs), job)
-
-    def insert(self, index: int, job: StageJob) -> int:
-        """Insert a job at an index and update bookkeeping."""
-        if index < 0 or index > len(self._jobs):
-            raise IndexError(f"insertion index {index} out of range for queue of {len(self._jobs)}")
-        self._jobs.insert(index, job)
+    def _account_insert(self, job: StageJob) -> None:
         self._expert_counts[job.expert_id] += 1
         self._pending_latency_ms += job.predicted_latency_ms
+        self._size += 1
+
+    def append(self, job: StageJob) -> int:
+        """Append a job at the tail; returns its index.  O(1)."""
+        tail = self._runs[-1] if self._runs else None
+        if tail is not None and tail.expert_id == job.expert_id:
+            tail.jobs.append(job)
+        else:
+            run = _Run(job.expert_id)
+            run.jobs.append(job)
+            self._runs.append(run)
+            self._last_run[job.expert_id] = run
+        self._account_insert(job)
+        return self._size - 1
+
+    def insert_grouped(self, job: StageJob) -> None:
+        """Insert the job right after the last queued same-expert job.
+
+        This is CoServe's request arranging (§4.2 / Figure 9) as a
+        single O(1) operation: the job joins the tail of its expert's
+        last run, or the tail of the queue when no queued job uses the
+        expert yet.
+        """
+        run = self._last_run.get(job.expert_id)
+        if run is None:
+            self.append(job)
+            return
+        run.jobs.append(job)
+        self._account_insert(job)
+
+    def insert(self, index: int, job: StageJob) -> int:
+        """Insert a job at an arbitrary index and update bookkeeping.
+
+        Compatibility path for index-based policies and tests; costs
+        O(n) because the run structure is rebuilt.  The engine's hot
+        path uses :meth:`append` / :meth:`insert_grouped` instead.
+        """
+        if index < 0 or index > self._size:
+            raise IndexError(f"insertion index {index} out of range for queue of {self._size}")
+        flat: List[StageJob] = list(self)
+        flat.insert(index, job)
+        self._rebuild(flat)
+        self._account_insert(job)
         return index
+
+    def _rebuild(self, flat: List[StageJob]) -> None:
+        """Rebuild the run structure from a flat job list."""
+        self._runs = deque()
+        self._last_run = {}
+        current: Optional[_Run] = None
+        for job in flat:
+            if current is None or current.expert_id != job.expert_id:
+                current = _Run(job.expert_id)
+                self._runs.append(current)
+                self._last_run[job.expert_id] = current
+            current.jobs.append(job)
 
     def index_after_last(self, expert_id: str) -> Optional[int]:
         """Index just after the last queued job using ``expert_id``.
 
-        Returns ``None`` when no queued job uses the expert; this is the
-        insertion point CoServe's request arranging uses to group
-        same-expert requests together.
+        Returns ``None`` when no queued job uses the expert.  Kept for
+        compatibility with index-based insertion; costs O(runs).  The
+        engine groups same-expert requests with :meth:`insert_grouped`
+        instead.
         """
-        if self._expert_counts.get(expert_id, 0) == 0:
+        last = self._last_run.get(expert_id)
+        if last is None:
             return None
-        for index in range(len(self._jobs) - 1, -1, -1):
-            if self._jobs[index].expert_id == expert_id:
-                return index + 1
-        return None
+        position = 0
+        for run in self._runs:
+            position += len(run.jobs)
+            if run is last:
+                return position
+        raise RuntimeError(  # pragma: no cover - invariant violation
+            f"queue '{self.name}' lost track of the last run for expert '{expert_id}'"
+        )
 
     def pop_head_run(self, max_count: int) -> List[StageJob]:
         """Pop the head run of consecutive jobs sharing the head expert.
@@ -109,22 +208,32 @@ class RequestQueue:
         """
         if max_count <= 0:
             raise ValueError("max_count must be positive")
-        if not self._jobs:
+        if not self._runs:
             return []
-        head_expert = self._jobs[0].expert_id
+        head = self._runs[0]
+        jobs = head.jobs
         run: List[StageJob] = []
-        while self._jobs and len(run) < max_count and self._jobs[0].expert_id == head_expert:
-            job = self._jobs.pop(0)
+        for _ in range(min(max_count, len(jobs))):
+            job = jobs.popleft()
             self._expert_counts[job.expert_id] -= 1
             if self._expert_counts[job.expert_id] <= 0:
                 del self._expert_counts[job.expert_id]
             self._pending_latency_ms -= job.predicted_latency_ms
+            self._size -= 1
             run.append(job)
-        if self._pending_latency_ms < 0 and self._pending_latency_ms > -1e-6:
+        if not jobs:
+            self._runs.popleft()
+            if self._last_run.get(head.expert_id) is head:
+                del self._last_run[head.expert_id]
+        if self._pending_latency_ms < 0:
+            # The running sum accumulates float error as jobs come and
+            # go; the true pending latency can never be negative.
             self._pending_latency_ms = 0.0
         return run
 
     def clear(self) -> None:
-        self._jobs.clear()
+        self._runs.clear()
+        self._last_run.clear()
         self._expert_counts.clear()
         self._pending_latency_ms = 0.0
+        self._size = 0

@@ -1,0 +1,208 @@
+"""Pre-optimisation reference implementations of the engine hot path.
+
+The run-structured queue, the residency index and the O(E) request
+assigning (see :mod:`repro.simulation.engine`) are pure data-structure
+changes: they must not alter any simulated result.  This module keeps
+the original scan-based implementations — the flat-list
+:class:`ReferenceRequestQueue`, the all-executor source-tier scans and
+the O(E²) assignment loop — so that
+
+* the equivalence tests can assert bit-identical
+  :class:`~repro.simulation.results.SimulationResult`\\ s between the
+  optimised and the reference engine on randomized streams, and
+* ``benchmarks/test_bench_engine_hotpath.py`` can measure the speedup
+  of the optimised hot path against the exact pre-optimisation code.
+
+:func:`referencify` converts an already-built
+:class:`~repro.simulation.engine.ServingSimulation` (before any
+``run``) into its reference counterpart by swapping the queues and
+rebinding the scan-based methods; everything else — devices, pools,
+preloads, policies, metrics — is shared code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from types import MethodType
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import CoServeScheduler
+from repro.hardware.memory import MemoryTier
+from repro.simulation.engine import ServingSimulation
+from repro.simulation.executor import Executor
+from repro.simulation.request import StageJob
+
+
+class ReferenceRequestQueue:
+    """The original flat-list request queue (O(n) pops and inserts)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._jobs: List[StageJob] = []
+        self._expert_counts: Counter = Counter()
+        self._pending_latency_ms = 0.0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[StageJob]:
+        return iter(self._jobs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._jobs
+
+    @property
+    def jobs(self) -> Tuple[StageJob, ...]:
+        return tuple(self._jobs)
+
+    @property
+    def pending_latency_ms(self) -> float:
+        return self._pending_latency_ms
+
+    def contains_expert(self, expert_id: str) -> bool:
+        return self._expert_counts.get(expert_id, 0) > 0
+
+    def expert_job_count(self, expert_id: str) -> int:
+        return self._expert_counts.get(expert_id, 0)
+
+    def queued_expert_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(expert for expert, count in self._expert_counts.items() if count > 0))
+
+    def queued_expert_view(self) -> frozenset:
+        # The pre-PR engine materialised a fresh set per eviction.
+        return frozenset(expert for expert, count in self._expert_counts.items() if count > 0)
+
+    def head_expert_id(self) -> Optional[str]:
+        if not self._jobs:
+            return None
+        return self._jobs[0].expert_id
+
+    def append(self, job: StageJob) -> int:
+        return self.insert(len(self._jobs), job)
+
+    def insert(self, index: int, job: StageJob) -> int:
+        if index < 0 or index > len(self._jobs):
+            raise IndexError(f"insertion index {index} out of range for queue of {len(self._jobs)}")
+        self._jobs.insert(index, job)
+        self._expert_counts[job.expert_id] += 1
+        self._pending_latency_ms += job.predicted_latency_ms
+        return index
+
+    def index_after_last(self, expert_id: str) -> Optional[int]:
+        if self._expert_counts.get(expert_id, 0) == 0:
+            return None
+        for index in range(len(self._jobs) - 1, -1, -1):
+            if self._jobs[index].expert_id == expert_id:
+                return index + 1
+        return None
+
+    def pop_head_run(self, max_count: int) -> List[StageJob]:
+        if max_count <= 0:
+            raise ValueError("max_count must be positive")
+        if not self._jobs:
+            return []
+        head_expert = self._jobs[0].expert_id
+        run: List[StageJob] = []
+        while self._jobs and len(run) < max_count and self._jobs[0].expert_id == head_expert:
+            job = self._jobs.pop(0)
+            self._expert_counts[job.expert_id] -= 1
+            if self._expert_counts[job.expert_id] <= 0:
+                del self._expert_counts[job.expert_id]
+            self._pending_latency_ms -= job.predicted_latency_ms
+            run.append(job)
+        if self._pending_latency_ms < 0 and self._pending_latency_ms > -1e-6:
+            self._pending_latency_ms = 0.0
+        return run
+
+    def clear(self) -> None:
+        self._jobs.clear()
+        self._expert_counts.clear()
+        self._pending_latency_ms = 0.0
+
+
+def _reference_locate_source_tier(
+    self: ServingSimulation, executor: Executor, expert_id: str
+) -> MemoryTier:
+    """The original all-executor pool scan of the engine."""
+    if self.host_cache is not None and self.host_cache.lookup(expert_id):
+        return MemoryTier.CPU
+    for other in self._executors:
+        if other.pool is executor.pool:
+            continue
+        if other.pool.contains(expert_id):
+            return self.device.memory_tier_for(other.kind)
+    return MemoryTier.SSD
+
+
+def _reference_expert_location_tier(self, executor: Executor, expert_id: str) -> str:
+    """The original all-executor scan of the latency predictor."""
+    if self._simulation is None:
+        return MemoryTier.SSD.value
+    if self._simulation.host_cache is not None and self._simulation.host_cache.contains(expert_id):
+        return MemoryTier.CPU.value
+    for other in self._simulation.executors:
+        if other.pool is executor.pool:
+            continue
+        if other.pool.contains(expert_id):
+            return self._simulation.device.memory_tier_for(other.kind).value
+    return MemoryTier.SSD.value
+
+
+def _reference_assign_by_total_inference_time(
+    self: CoServeScheduler, job: StageJob, executors: Sequence[Executor], now_ms: float
+) -> Executor:
+    """The original O(E²)-per-job request-assigning loop."""
+    finish_times = {
+        executor.name: executor.estimated_finish_ms(now_ms) for executor in executors
+    }
+    additional = {
+        executor.name: self._predictor.additional_latency_ms(executor, job, now_ms)
+        for executor in executors
+    }
+
+    best_executor: Optional[Executor] = None
+    best_key: Optional[tuple] = None
+    for executor in executors:
+        others_max = max(
+            (finish_times[other.name] for other in executors if other is not executor),
+            default=0.0,
+        )
+        candidate_total = max(others_max, finish_times[executor.name] + additional[executor.name])
+        key = (candidate_total, additional[executor.name], executor.name)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_executor = executor
+    assert best_executor is not None
+    return best_executor
+
+
+def _reference_enqueue(self, executor: Executor, job: StageJob, now_ms: float) -> None:
+    """The original index-based insertion path of the engine."""
+    index = self.insertion_index(executor, job, now_ms)
+    executor.queue.insert(index, job)
+
+
+def referencify(simulation: ServingSimulation) -> ServingSimulation:
+    """Rebind a freshly built simulation to the pre-optimisation code.
+
+    Must be called before ``run`` (the executor queues must still be
+    empty).  Returns the same simulation object for chaining.
+    """
+    for executor in simulation._executors:
+        if len(executor.queue) != 0:
+            raise ValueError("referencify requires empty executor queues (call it before run)")
+        executor.queue = ReferenceRequestQueue(name=executor.queue.name)
+    simulation._locate_source_tier = MethodType(_reference_locate_source_tier, simulation)
+
+    policy = simulation.scheduling_policy
+    policy.enqueue = MethodType(_reference_enqueue, policy)
+    if isinstance(policy, CoServeScheduler):
+        policy._assign_by_total_inference_time = MethodType(
+            _reference_assign_by_total_inference_time, policy
+        )
+        policy._last_prediction = None
+        policy._predictor._expert_location_tier = MethodType(
+            _reference_expert_location_tier, policy._predictor
+        )
+    return simulation

@@ -153,7 +153,7 @@ class TestRequestQueue:
         assert len(queue) == 3
         assert queue.contains_expert("a")
         assert queue.expert_job_count("a") == 2
-        assert queue.queued_expert_ids() == ("a", "b")
+        assert queue.queued_expert_ids() == frozenset({"a", "b"})
         assert queue.head_expert_id() == "a"
 
     def test_index_after_last(self):
