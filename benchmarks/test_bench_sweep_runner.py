@@ -1,0 +1,113 @@
+"""Microbenchmark for the parallel sweep runner.
+
+Executes the unioned serving grid of Figures 13-16 (the multi-figure
+evaluation sweep: comparison + ablation systems on every device/task
+pair) once serially and once across ``JOBS`` worker processes, asserts
+the results are cell-for-cell identical, and asserts the parallel run
+is at least ``MIN_PARALLEL_SPEEDUP``x faster.
+
+The grid splits into 8 per-(device, task) batches, so 4 workers each
+profile two pairs and the ideal speedup is ~4x minus pool start-up and
+per-worker profiling; 1.7x leaves ample head-room on a 4-core CI
+runner.  Machines with fewer than ``JOBS`` usable cores skip the check
+(a process pool cannot beat serial execution on one core).
+
+``COSERVE_BENCH_FULL_SCALE=1`` uses the paper's full request counts.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.base import EvaluationSettings
+from repro.experiments.cli import collect_grid
+from repro.sweeps import SweepRunner
+
+#: Required wall-clock speedup of the parallel sweep at ``JOBS`` workers.
+MIN_PARALLEL_SPEEDUP = 1.7
+JOBS = 4
+
+#: Figures whose grids make up the benchmarked sweep.
+MULTI_FIGURE = ("figure13", "figure14", "figure15", "figure16")
+
+
+def _full_scale() -> bool:
+    return os.environ.get("COSERVE_BENCH_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def sweep_case():
+    settings = EvaluationSettings(
+        full_scale=_full_scale(),
+        reduced_requests=2000,
+        devices=("numa", "uma"),
+        task_names=("A1", "A2", "B1", "B2"),
+    )
+    grid = collect_grid(MULTI_FIGURE, settings)
+    return settings, grid
+
+
+def test_parallel_matches_serial_cell_for_cell(sweep_case):
+    """Correctness half of the benchmark, runs regardless of core count."""
+    settings, grid = sweep_case
+    small = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=300,
+        devices=settings.devices,
+        task_names=("A1", "B1"),
+    )
+    small_grid = collect_grid(MULTI_FIGURE, small)
+    serial = SweepRunner(settings=small).run(small_grid)
+    parallel = SweepRunner(settings=small, jobs=2).run(small_grid)
+    assert len(serial) == len(parallel) == len(small_grid)
+    for cell in small_grid:
+        assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
+
+
+@pytest.mark.skipif(
+    _usable_cores() < JOBS,
+    reason=f"parallel speedup needs >= {JOBS} usable cores",
+)
+def test_parallel_sweep_speedup(sweep_case):
+    settings, grid = sweep_case
+
+    # Warm OS caches / import state outside the timed regions.
+    warm = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=100,
+        devices=("numa",),
+        task_names=("A1",),
+    )
+    SweepRunner(settings=warm).run(collect_grid(MULTI_FIGURE, warm))
+
+    start = time.perf_counter()
+    serial = SweepRunner(settings=settings).run(grid)
+    serial_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = SweepRunner(settings=settings, jobs=JOBS).run(grid)
+    parallel_elapsed = time.perf_counter() - start
+
+    for cell in grid:
+        assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
+
+    speedup = serial_elapsed / parallel_elapsed
+    print(
+        f"\nsweep runner: serial {serial_elapsed:.2f}s, "
+        f"{JOBS} workers {parallel_elapsed:.2f}s, speedup {speedup:.2f}x "
+        f"({len(grid)} cells)"
+    )
+    assert speedup >= MIN_PARALLEL_SPEEDUP, (
+        f"parallel sweep speedup regressed: {speedup:.2f}x < {MIN_PARALLEL_SPEEDUP}x "
+        f"(serial {serial_elapsed:.2f}s, parallel {parallel_elapsed:.2f}s at {JOBS} workers)"
+    )

@@ -10,10 +10,12 @@ Samba-CoE baseline on a short burst of production traffic.
 Run with:  python examples/quickstart.py
 """
 
+from repro.experiments.base import EvaluationSettings
 from repro.hardware.presets import make_numa_device
 from repro.metrics.report import format_table
 from repro.serving import CoServeSystem, SambaCoESystem
 from repro.serving.base import ServingSystem
+from repro.sweeps import SweepGrid, SweepRunner
 from repro.workload import build_inspection_model, make_board_a
 from repro.workload.generator import generate_request_stream
 
@@ -52,6 +54,33 @@ def main() -> None:
     print(format_table(rows))
     speedup = rows[1]["throughput (img/s)"] / rows[0]["throughput (img/s)"]
     print(f"\nCoServe throughput improvement over Samba-CoE: {speedup:.1f}x")
+
+    # 4. Sweeps: declare a grid of (system, device, task) cells and let the
+    #    runner execute it — pass jobs=N to fan it out over N worker
+    #    processes (identical results, less wall-clock time).  The CLI
+    #    exposes the same machinery:
+    #
+    #        coserve-experiments --all --jobs 4
+    #        coserve-experiments figure13 --format json --output results/
+    grid = SweepGrid.product(
+        systems=("samba-coe", "coserve-best"),
+        devices=("numa", "uma"),
+        tasks=("A1",),
+    )
+    settings = EvaluationSettings(reduced_requests=300)
+    results = SweepRunner(settings=settings, jobs=2).run(grid)
+    print("\nSweep over", len(grid), "cells (2 worker processes):")
+    print(
+        format_table(
+            [
+                {
+                    "cell": cell.label(),
+                    "throughput (img/s)": round(results[cell].throughput_rps, 2),
+                }
+                for cell in grid
+            ]
+        )
+    )
 
 
 if __name__ == "__main__":

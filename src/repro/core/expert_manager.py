@@ -24,7 +24,7 @@ from typing import List, Optional, Set
 
 from repro.coe.model import CoEModel
 from repro.coe.probability import UsageProfile
-from repro.policies.base import EvictionContext, EvictionPolicy
+from repro.policies.base import EvictionContext, EvictionPolicy, select_victims
 
 
 class DependencyAwareEvictionPolicy(EvictionPolicy):
@@ -75,19 +75,30 @@ class DependencyAwareEvictionPolicy(EvictionPolicy):
         # Stage 1: descending memory footprint (Figure 10, stage 1);
         # experts still demanded by queued requests go last within the
         # stage when queue protection is enabled.
-        stage_one.sort(
-            key=lambda expert_id: (
+        def stage_one_key(expert_id: str):
+            return (
                 queued_penalty(expert_id),
                 -self._memory_footprint(expert_id),
                 expert_id,
             )
-        )
+
         # Stage 2: ascending pre-assessed usage probability.
-        stage_two.sort(
-            key=lambda expert_id: (
+        def stage_two_key(expert_id: str):
+            return (
                 queued_penalty(expert_id),
                 self._usage_probability(expert_id),
                 expert_id,
             )
-        )
-        return stage_one + stage_two
+
+        bytes_to_free = context.bytes_to_free
+        sizes = context.resident_bytes
+        if bytes_to_free is not None and sizes is not None:
+            stage_one_bytes = sum(sizes.get(expert_id, 0) for expert_id in stage_one)
+            if stage_one_bytes >= bytes_to_free:
+                # Orphan subsequents alone free enough memory — stage 2
+                # never gets evicted, so skip sorting it entirely.
+                return select_victims(stage_one, stage_one_key, bytes_to_free, sizes)
+            return sorted(stage_one, key=stage_one_key) + select_victims(
+                stage_two, stage_two_key, bytes_to_free - stage_one_bytes, sizes
+            )
+        return sorted(stage_one, key=stage_one_key) + sorted(stage_two, key=stage_two_key)

@@ -1,10 +1,20 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every experiment module exposes a ``run_*`` function that regenerates
-the corresponding table or figure as an :class:`ExperimentResult` — the
-same rows/series the paper reports, printed as text tables instead of
-plots.  The ``coserve-experiments`` console script (``repro.experiments.cli``)
-runs them from the command line.
+Every experiment module exposes two things:
+
+- a ``sweep_grid(settings)`` function declaring which serving
+  simulations (:class:`~repro.sweeps.SweepGrid` cells) the experiment
+  needs — empty for experiments that only read profiler or device
+  models; and
+- a ``run_*`` function that regenerates the corresponding table or
+  figure as an :class:`ExperimentResult`, assembling its rows from a
+  :class:`~repro.sweeps.SweepResults` store (running its own grid
+  serially when none is supplied).
+
+The ``coserve-experiments`` console script (``repro.experiments.cli``)
+unions the grids of every selected experiment, executes the
+deduplicated union once — serially or across ``--jobs N`` worker
+processes — and feeds the shared results to each figure.
 
 Experiments default to a scaled-down request count so the whole harness
 finishes quickly; pass ``full_scale=True`` (or ``--full-scale`` on the
@@ -12,6 +22,19 @@ CLI) to use the paper's request counts (2,500 / 3,500 per task).
 """
 
 from repro.experiments.base import ExperimentResult, EvaluationSettings
+from repro.experiments import table01 as _table01
+from repro.experiments import figure01 as _figure01
+from repro.experiments import figure05 as _figure05
+from repro.experiments import figure06 as _figure06
+from repro.experiments import figure11 as _figure11
+from repro.experiments import figure12 as _figure12
+from repro.experiments import figure13 as _figure13
+from repro.experiments import figure14 as _figure14
+from repro.experiments import figure15 as _figure15
+from repro.experiments import figure16 as _figure16
+from repro.experiments import figure17 as _figure17
+from repro.experiments import figure18 as _figure18
+from repro.experiments import figure19 as _figure19
 from repro.experiments.table01 import run_table01
 from repro.experiments.figure01 import run_figure01
 from repro.experiments.figure05 import run_figure05
@@ -43,10 +66,30 @@ EXPERIMENTS = {
     "figure19": run_figure19,
 }
 
+#: Declarative serving grids, keyed like :data:`EXPERIMENTS`.  The CLI
+#: unions these before execution so cells shared between figures
+#: (13/14 and 15/16 declare identical grids) are simulated exactly once.
+EXPERIMENT_GRIDS = {
+    "table01": _table01.sweep_grid,
+    "figure01": _figure01.sweep_grid,
+    "figure05": _figure05.sweep_grid,
+    "figure06": _figure06.sweep_grid,
+    "figure11": _figure11.sweep_grid,
+    "figure12": _figure12.sweep_grid,
+    "figure13": _figure13.sweep_grid,
+    "figure14": _figure14.sweep_grid,
+    "figure15": _figure15.sweep_grid,
+    "figure16": _figure16.sweep_grid,
+    "figure17": _figure17.sweep_grid,
+    "figure18": _figure18.sweep_grid,
+    "figure19": _figure19.sweep_grid,
+}
+
 __all__ = [
     "ExperimentResult",
     "EvaluationSettings",
     "EXPERIMENTS",
+    "EXPERIMENT_GRIDS",
     "run_table01",
     "run_figure01",
     "run_figure05",

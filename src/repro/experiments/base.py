@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+import csv
+import io
+import json
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.coe.model import CoEModel
@@ -14,7 +16,6 @@ from repro.hardware.device import Device
 from repro.hardware.presets import make_device
 from repro.metrics.report import format_table
 from repro.serving.base import ServingSystem
-from repro.serving.factory import build_system
 from repro.simulation.results import SimulationResult
 from repro.workload.circuit_board import CircuitBoard
 from repro.workload.generator import RequestStream
@@ -44,6 +45,40 @@ class ExperimentResult:
     def column(self, key: str) -> List[object]:
         """Extract one column across all rows."""
         return [row.get(key) for row in self.rows]
+
+    def effective_columns(self) -> List[str]:
+        """Declared columns, or the union of row keys in first-seen order."""
+        if self.columns:
+            return list(self.columns)
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable dict form (one element of ``--format json``)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": self.effective_columns(),
+            "rows": [dict(row) for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Render the result as a JSON document (``--format json``)."""
+        return json.dumps(self.to_payload(), indent=indent, default=str)
+
+    def to_csv(self) -> str:
+        """Render the rows as CSV (``--format csv``)."""
+        columns = self.effective_columns()
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval="", extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(dict(row))
+        return buffer.getvalue()
 
 
 @dataclass(frozen=True)
@@ -140,18 +175,20 @@ class EvaluationContext:
         task_name: str,
         **overrides,
     ) -> SimulationResult:
-        """Serve one task with one system on one device."""
-        device = self.device(device_architecture)
-        _, model = self.board_and_model(task_name)
-        system = build_system(
-            system_name,
-            device,
-            model,
-            self.usage_profile(task_name),
-            performance_matrix=self.performance_matrix(device_architecture, task_name),
-            **overrides,
-        )
-        return system.serve(self.stream(task_name))
+        """Serve one task with one system on one device.
+
+        Compatibility shim: experiment code now declares
+        :class:`~repro.sweeps.SweepGrid` objects and reads results back
+        from a :class:`~repro.sweeps.SweepResults` store, but ad-hoc
+        callers can still serve a single cell here.  The call is backed
+        by a one-cell sweep on this context, so it behaves exactly like
+        a grid entry (imported lazily — sweeps depends on this module).
+        """
+        from repro.sweeps import SweepCell, SweepGrid, SweepRunner
+
+        cell = SweepCell.make(system_name, device_architecture, task_name, **overrides)
+        runner = SweepRunner(context=self, keep_requests=True)
+        return runner.run(SweepGrid.single(cell))[cell]
 
 
 #: Systems compared in Figures 13 and 14, in the paper's plotting order.

@@ -9,17 +9,38 @@ Run everything at reduced scale::
 Run specific experiments at the paper's full request counts::
 
     coserve-experiments figure13 figure14 --full-scale
+
+Fan the serving grid out over four worker processes and emit JSON (a
+single object for one experiment, a single array for several)::
+
+    coserve-experiments --all --jobs 4 --format json
+
+Write one CSV file per experiment into a directory::
+
+    coserve-experiments figure13 figure15 --format csv --output results/
+
+Before any experiment runs, the CLI unions the sweep grids declared by
+the selected experiments and executes the deduplicated union once (with
+``--jobs N`` the grid is spread over N worker processes); each figure
+then assembles its rows from the shared results, so cells required by
+several figures are simulated exactly once per invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments import EXPERIMENTS
-from repro.experiments.base import EvaluationContext, EvaluationSettings
+from repro.experiments import EXPERIMENT_GRIDS, EXPERIMENTS
+from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.sweeps import SweepGrid, SweepRunner
+
+#: File suffix per output format.
+_FORMAT_SUFFIX = {"table": "txt", "json": "json", "csv": "csv"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +82,73 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["A1", "A2", "B1", "B2"],
         help="Tasks to evaluate (default: all four).",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="Worker processes for the serving sweep (default: 1 = in-process). "
+        "Rows are identical to a serial run; only wall-clock time changes.",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(_FORMAT_SUFFIX),
+        default="table",
+        help="Output format: human-readable table (default), json, or csv.",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="Write one file per experiment into DIR instead of printing results.",
+    )
     return parser
+
+
+def render_result(result: ExperimentResult, output_format: str) -> str:
+    if output_format == "json":
+        return result.to_json()
+    if output_format == "csv":
+        return result.to_csv()
+    return result.to_text()
+
+
+def collect_grid(names: Sequence[str], settings: EvaluationSettings) -> SweepGrid:
+    """Union (and thereby deduplicate) the grids of the named experiments."""
+    return SweepGrid.union(*(EXPERIMENT_GRIDS[name](settings) for name in names))
+
+
+def run_experiments(
+    names: Sequence[str],
+    settings: EvaluationSettings,
+    jobs: int = 1,
+    experiment_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[Tuple[str, ExperimentResult, float]]:
+    """Run experiments over one shared sweep execution.
+
+    Returns ``(name, result, seconds)`` triples in input order.  This is
+    the programmatic equivalent of the CLI (and what the determinism
+    tests drive): the unioned grid runs once — across ``jobs`` worker
+    processes when ``jobs > 1`` — and every experiment reads from the
+    same result store.  ``experiment_kwargs`` optionally forwards extra
+    keyword arguments to individual run functions (e.g. a smaller
+    ``sample_size`` for the offline-tuning figures).
+    """
+    context = EvaluationContext(settings)
+    grid = collect_grid(names, settings)
+    if jobs > 1:
+        runner = SweepRunner(settings=settings, jobs=jobs)
+    else:
+        runner = SweepRunner(context=context)
+    results = runner.run(grid)
+
+    outcomes: List[Tuple[str, ExperimentResult, float]] = []
+    for name in names:
+        kwargs = dict((experiment_kwargs or {}).get(name, {}))
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](context=context, results=results, **kwargs)
+        outcomes.append((name, result, time.perf_counter() - start))
+    return outcomes
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -74,6 +161,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error(f"unknown experiment(s) {unknown}; choose from {sorted(EXPERIMENTS)}")
     if arguments.all or not names:
         names = sorted(EXPERIMENTS)
+    if arguments.jobs < 1:
+        parser.error("--jobs must be a positive integer")
 
     settings = EvaluationSettings(
         full_scale=arguments.full_scale,
@@ -81,15 +170,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         devices=tuple(arguments.devices),
         task_names=tuple(arguments.tasks),
     )
-    context = EvaluationContext(settings)
 
-    for name in names:
-        start = time.perf_counter()
-        result = EXPERIMENTS[name](context=context)
-        elapsed = time.perf_counter() - start
-        print(result.to_text())
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
-        print()
+    start = time.perf_counter()
+    outcomes = run_experiments(names, settings, jobs=arguments.jobs)
+    total_elapsed = time.perf_counter() - start
+    grid_size = len(collect_grid(names, settings))
+    # The serving work happens in one shared sweep before row assembly,
+    # so per-experiment timings only cover assembly; report both parts.
+    assembly_elapsed = sum(elapsed for _, _, elapsed in outcomes)
+
+    # Results go to stdout; progress/timing lines go to stderr so stdout
+    # stays machine-readable and byte-identical across serial/parallel runs.
+    def notice(*args: object) -> None:
+        print(*args, file=sys.stderr)
+
+    if arguments.output:
+        os.makedirs(arguments.output, exist_ok=True)
+    suffix = _FORMAT_SUFFIX[arguments.format]
+    emit_json_array = arguments.format == "json" and not arguments.output and len(outcomes) > 1
+    if emit_json_array:
+        # One parseable document instead of concatenated objects.
+        print(json.dumps([result.to_payload() for _, result, _ in outcomes], indent=2, default=str))
+    for name, result, elapsed in outcomes:
+        if arguments.output:
+            rendered = render_result(result, arguments.format)
+            path = os.path.join(arguments.output, f"{name}.{suffix}")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+            print(f"[{name} -> {path}]", file=sys.stderr)
+        elif not emit_json_array:
+            print(render_result(result, arguments.format))
+            if arguments.format == "table":
+                print()
+            notice(f"[{name}: rows assembled in {elapsed:.1f}s]")
+    notice(
+        f"[{len(names)} experiment(s), {grid_size} unique sweep cell(s), jobs={arguments.jobs}: "
+        f"sweep {max(total_elapsed - assembly_elapsed, 0.0):.1f}s "
+        f"+ row assembly {assembly_elapsed:.1f}s = {total_elapsed:.1f}s]"
+    )
     return 0
 
 

@@ -15,14 +15,21 @@ from repro.hardware.memory import MemoryTier
 from repro.hardware.presets import RESNET101, YOLOV5L, YOLOV5M
 from repro.hardware.processor import ProcessorKind
 from repro.hardware.units import MB
+from repro.sweeps import SweepGrid, SweepResults
 
 #: Serialized weight sizes used for the motivation experiment.
 _WEIGHT_BYTES = {RESNET101: 178 * MB, YOLOV5M: 85 * MB, YOLOV5L: 186 * MB}
 
 
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 1 reads device latency models directly; no serving cells."""
+    return SweepGrid.empty()
+
+
 def run_figure01(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 1 (switching latency share)."""
     context = context or EvaluationContext(settings)

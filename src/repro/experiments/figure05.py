@@ -7,8 +7,14 @@ from typing import Optional, Sequence
 from repro.core.profiler import OfflineProfiler
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.hardware.processor import ProcessorKind
+from repro.sweeps import SweepGrid, SweepResults
 
 DEFAULT_BATCH_SIZES = tuple(range(1, 33))
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 5 sweeps the offline profiler; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_figure05(
@@ -16,6 +22,7 @@ def run_figure05(
     context: Optional[EvaluationContext] = None,
     architecture: str = "resnet101",
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 5 (average latency vs batch size)."""
     context = context or EvaluationContext(settings)

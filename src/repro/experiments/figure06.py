@@ -8,8 +8,14 @@ from repro.core.profiler import OfflineProfiler
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.hardware.processor import ProcessorKind
 from repro.hardware.units import bytes_to_gb
+from repro.sweeps import SweepGrid, SweepResults
 
 DEFAULT_BATCH_SIZES = tuple(range(1, 33))
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 6 sweeps the offline profiler; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_figure06(
@@ -17,6 +23,7 @@ def run_figure06(
     context: Optional[EvaluationContext] = None,
     architecture: str = "resnet101",
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 6 (memory footprint vs batch size)."""
     context = context or EvaluationContext(settings)

@@ -9,6 +9,12 @@ import numpy as np
 from repro.coe.probability import compute_usage_profile
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.serving.coserve import DEFAULT_GPU_EXPERT_COUNT
+from repro.sweeps import SweepGrid, SweepResults
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 11 derives its CDF from the usage profile; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_figure11(
@@ -16,6 +22,7 @@ def run_figure11(
     context: Optional[EvaluationContext] = None,
     task_name: str = "A1",
     sample_points: int = 24,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 11 (expert usage CDF and the selected loading number)."""
     context = context or EvaluationContext(settings)

@@ -7,9 +7,15 @@ from typing import Optional, Sequence
 from repro.core.profiler import OfflineProfiler
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.hardware.processor import ProcessorKind
+from repro.sweeps import SweepGrid, SweepResults
 
 DEFAULT_BATCH_SIZES = tuple(range(1, 33))
 DEFAULT_ARCHITECTURES = ("resnet101", "yolov5m")
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 12 sweeps the offline profiler; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_figure12(
@@ -17,6 +23,7 @@ def run_figure12(
     context: Optional[EvaluationContext] = None,
     architectures: Sequence[str] = DEFAULT_ARCHITECTURES,
     batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 12 (execution latency vs batch size)."""
     context = context or EvaluationContext(settings)

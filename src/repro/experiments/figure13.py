@@ -10,22 +10,33 @@ from repro.experiments.base import (
     EvaluationSettings,
     ExperimentResult,
 )
+from repro.sweeps import SweepGrid, SweepResults, ensure_results
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Serving cells this figure needs: every comparison system on every
+    (device, task) pair of the settings."""
+    return SweepGrid.product(
+        COMPARISON_SYSTEMS, settings.devices, settings.task_names, tags=("figure13",)
+    )
 
 
 def run_figure13(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 13 (throughput per system, task and device)."""
     context = context or EvaluationContext(settings)
     settings = context.settings
+    results = ensure_results(sweep_grid(settings), results=results, context=context)
     rows = []
     for device_name in settings.devices:
         for task_name in settings.task_names:
             baseline_throughputs = {}
             task_rows = []
             for system_name in COMPARISON_SYSTEMS:
-                result = context.serve(system_name, device_name, task_name)
+                result = results.get(system_name, device_name, task_name)
                 baseline_throughputs[system_name] = result.throughput_rps
                 task_rows.append(
                     {

@@ -10,25 +10,31 @@ from repro.experiments.base import (
     EvaluationSettings,
     ExperimentResult,
 )
+from repro.sweeps import SweepGrid, SweepResults, ensure_results
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Same serving cells as Figure 13 — the union deduplicates them."""
+    return SweepGrid.product(
+        COMPARISON_SYSTEMS, settings.devices, settings.task_names, tags=("figure14",)
+    )
 
 
 def run_figure14(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 14 (expert switch counts per system, task and device)."""
     context = context or EvaluationContext(settings)
     settings = context.settings
+    results = ensure_results(sweep_grid(settings), results=results, context=context)
     rows = []
     for device_name in settings.devices:
         for task_name in settings.task_names:
-            counts = {}
+            samba_switches = results.get("samba-coe", device_name, task_name).expert_switches
             for system_name in COMPARISON_SYSTEMS:
-                result = context.serve(system_name, device_name, task_name)
-                counts[system_name] = result
-            samba_switches = counts["samba-coe"].expert_switches
-            for system_name in COMPARISON_SYSTEMS:
-                result = counts[system_name]
+                result = results.get(system_name, device_name, task_name)
                 reduction = ""
                 if not system_name.startswith("samba") and samba_switches > 0:
                     reduction = round(100 * (1 - result.expert_switches / samba_switches), 1)

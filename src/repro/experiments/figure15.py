@@ -10,20 +10,30 @@ from repro.experiments.base import (
     EvaluationSettings,
     ExperimentResult,
 )
+from repro.sweeps import SweepGrid, SweepResults, ensure_results
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Ablation cells — shared with Figure 16 via grid union."""
+    return SweepGrid.product(
+        ABLATION_SYSTEMS, settings.devices, settings.task_names, tags=("figure15",)
+    )
 
 
 def run_figure15(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 15 (ablation throughput breakdown)."""
     context = context or EvaluationContext(settings)
     settings = context.settings
+    results = ensure_results(sweep_grid(settings), results=results, context=context)
     rows = []
     for device_name in settings.devices:
         for task_name in settings.task_names:
             for system_name in ABLATION_SYSTEMS:
-                result = context.serve(system_name, device_name, task_name)
+                result = results.get(system_name, device_name, task_name)
                 rows.append(
                     {
                         "device": device_name.upper(),

@@ -6,6 +6,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.serving.tuning import sweep_executor_configurations
+from repro.sweeps import SweepGrid, SweepResults
 
 #: Executor-count candidates of the paper (xG+yC).
 DEFAULT_CANDIDATES: Tuple[Tuple[int, int], ...] = (
@@ -18,11 +19,17 @@ DEFAULT_CANDIDATES: Tuple[Tuple[int, int], ...] = (
 )
 
 
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 17 runs the offline tuning sweep on samples; no serving cells."""
+    return SweepGrid.empty()
+
+
 def run_figure17(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
     candidates: Sequence[Tuple[int, int]] = DEFAULT_CANDIDATES,
     sample_size: int = 2000,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 17 (offline executor-count measurements).
 

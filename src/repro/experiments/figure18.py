@@ -7,6 +7,12 @@ from typing import Optional
 from repro.core.memory import DecayWindowSearch
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
 from repro.serving.tuning import run_memory_allocation_search
+from repro.sweeps import SweepGrid, SweepResults
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Figure 18 runs the decay-window search on samples; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_figure18(
@@ -16,6 +22,7 @@ def run_figure18(
     sample_size: int = 1500,
     initial_window: int = 15,
     error_margin: float = 0.05,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 18 (decay-window search on the NUMA GPU)."""
     context = context or EvaluationContext(settings)

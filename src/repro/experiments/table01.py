@@ -5,11 +5,18 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
+from repro.sweeps import SweepGrid, SweepResults
+
+
+def sweep_grid(settings: EvaluationSettings) -> SweepGrid:
+    """Table 1 lists static device specifications; no serving cells."""
+    return SweepGrid.empty()
 
 
 def run_table01(
     settings: Optional[EvaluationSettings] = None,
     context: Optional[EvaluationContext] = None,
+    results: Optional[SweepResults] = None,
 ) -> ExperimentResult:
     """Regenerate Table 1 (device specifications)."""
     context = context or EvaluationContext(settings)

@@ -11,8 +11,9 @@ in that order until the incoming expert fits; separating "ordering"
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass, field
-from typing import AbstractSet, List, Optional, Sequence, Set, Tuple
+from typing import AbstractSet, Callable, List, Mapping, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,16 @@ class EvictionContext:
         live expert view to avoid materialising a set per eviction.
     now_ms:
         Current virtual time.
+    bytes_to_free:
+        How many bytes must be evicted before the incoming expert fits.
+        When set (together with ``resident_bytes``), policies may return
+        only the victim prefix covering this amount instead of a full
+        ordering — the simulator stops evicting once the expert fits, so
+        the truncation is behaviour-preserving.
+    resident_bytes:
+        Sizes (in bytes) of the resident experts, used to measure how
+        much a victim prefix frees.  ``None`` disables partial selection
+        and policies fall back to a full sort.
     """
 
     pool_name: str
@@ -47,12 +58,55 @@ class EvictionContext:
     protected_expert_ids: AbstractSet[str] = frozenset()
     queued_expert_ids: AbstractSet[str] = frozenset()
     now_ms: float = 0.0
+    bytes_to_free: Optional[int] = None
+    resident_bytes: Optional[Mapping[str, int]] = None
 
     def evictable(self) -> Tuple[str, ...]:
         """Residents that may legally be evicted."""
         blocked: Set[str] = set(self.protected_expert_ids)
         blocked.add(self.incoming_expert_id)
         return tuple(e for e in self.resident_expert_ids if e not in blocked)
+
+
+def select_victims(
+    candidates: Sequence[str],
+    sort_key: Callable[[str], object],
+    bytes_to_free: Optional[int] = None,
+    resident_bytes: Optional[Mapping[str, int]] = None,
+) -> List[str]:
+    """Order eviction candidates, stopping once enough bytes are covered.
+
+    Equivalent to ``sorted(candidates, key=sort_key)`` truncated after
+    the cumulative candidate sizes reach ``bytes_to_free`` — the prefix
+    the simulator would actually evict.  Small evictions (the common
+    case: one incoming expert displaces one or two residents) use
+    ``heapq.nsmallest`` partial selection instead of sorting every
+    resident, growing the selection geometrically until the freed bytes
+    suffice.  ``sort_key`` must induce a total order (every policy
+    breaks ties on the expert id), so the partial selection returns
+    exactly the same prefix as the full sort.
+
+    Without byte information the full sorted order is returned.
+    """
+    if bytes_to_free is None or resident_bytes is None:
+        return sorted(candidates, key=sort_key)
+    candidates = list(candidates)
+    if bytes_to_free <= 0 or not candidates:
+        return []
+    total = len(candidates)
+    k = min(total, 8)
+    while True:
+        selected = heapq.nsmallest(k, candidates, key=sort_key)
+        covered = 0
+        for index, expert_id in enumerate(selected):
+            covered += resident_bytes.get(expert_id, 0)
+            if covered >= bytes_to_free:
+                return selected[: index + 1]
+        if k >= total:
+            # Even evicting everything cannot cover the request; return
+            # the full order and let the simulator report the failure.
+            return selected
+        k = min(total, k * 4)
 
 
 class EvictionPolicy(abc.ABC):

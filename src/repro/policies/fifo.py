@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.policies.base import EvictionContext, _PerPoolCounterPolicy
+from repro.policies.base import EvictionContext, _PerPoolCounterPolicy, select_victims
 
 
 class FIFOPolicy(_PerPoolCounterPolicy):
@@ -24,7 +24,9 @@ class FIFOPolicy(_PerPoolCounterPolicy):
         self._forget(pool_name, expert_id)
 
     def victim_order(self, context: EvictionContext) -> List[str]:
-        return sorted(
+        return select_victims(
             context.evictable(),
-            key=lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
+            lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
+            context.bytes_to_free,
+            context.resident_bytes,
         )

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.policies.base import EvictionContext, EvictionPolicy
+from repro.policies.base import EvictionContext, EvictionPolicy, select_victims
 
 
 class LFUPolicy(EvictionPolicy):
@@ -50,4 +50,6 @@ class LFUPolicy(EvictionPolicy):
                 expert_id,
             )
 
-        return sorted(context.evictable(), key=sort_key)
+        return select_victims(
+            context.evictable(), sort_key, context.bytes_to_free, context.resident_bytes
+        )

@@ -430,6 +430,8 @@ class ServingSimulation:
                 protected_expert_ids=frozenset(protected),
                 queued_expert_ids=executor.queue.queued_expert_view(),
                 now_ms=now,
+                bytes_to_free=needed - pool.free_bytes,
+                resident_bytes=pool.resident_sizes(),
             )
             for victim in self.eviction_policy.victim_order(context):
                 if pool.can_fit(needed):

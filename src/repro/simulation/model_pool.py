@@ -14,7 +14,8 @@ expert lookups never have to scan pools.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Tuple
 
 
 class ModelPool:
@@ -58,6 +59,10 @@ class ModelPool:
     def resident_expert_ids(self) -> Tuple[str, ...]:
         """Currently resident experts, sorted by id."""
         return tuple(sorted(self._resident))
+
+    def resident_sizes(self) -> Mapping[str, int]:
+        """Read-only live view of resident expert sizes in bytes."""
+        return MappingProxyType(self._resident)
 
     def contains(self, expert_id: str) -> bool:
         return expert_id in self._resident

@@ -41,9 +41,14 @@ class StageRecord:
         return self.end_ms - self.start_ms
 
 
-@dataclass
+@dataclass(slots=True)
 class SimRequest:
-    """Simulator state of one request."""
+    """Simulator state of one request.
+
+    Slotted: million-request sweeps keep every request alive for the
+    whole run, and dropping the per-instance ``__dict__`` cuts the
+    request/job footprint by roughly a third (measured in CHANGES.md).
+    """
 
     spec: RequestSpec
     next_stage: int = 0
@@ -104,9 +109,10 @@ class SimRequest:
         return sum(record.service_ms for record in self.records)
 
 
-@dataclass
+@dataclass(slots=True)
 class StageJob:
-    """A schedulable unit: one pipeline stage of one request."""
+    """A schedulable unit: one pipeline stage of one request (slotted —
+    flood regimes queue tens of thousands of jobs at once)."""
 
     request: SimRequest
     stage_index: int

@@ -1,0 +1,25 @@
+"""Declarative sweep grids and the parallel experiment runner.
+
+The paper's figures replay hundreds of independent (system, device,
+task, overrides) simulations.  This package turns that replay into
+data:
+
+- :class:`SweepCell` / :class:`SweepGrid` declare *what* to simulate;
+- :class:`SweepRunner` executes a grid serially or across a process
+  pool, caching expensive per-(device, task) artefacts per worker;
+- :class:`SweepResults` stores outcomes keyed by cell so every figure
+  assembles its rows from one shared, deduplicated execution.
+"""
+
+from repro.sweeps.spec import SweepCell, SweepGrid
+from repro.sweeps.results import SweepResults
+from repro.sweeps.runner import SweepRunner, ensure_results, execute_cell
+
+__all__ = [
+    "SweepCell",
+    "SweepGrid",
+    "SweepResults",
+    "SweepRunner",
+    "ensure_results",
+    "execute_cell",
+]

@@ -1,0 +1,70 @@
+"""Keyed store for sweep outcomes.
+
+:class:`SweepResults` maps :class:`~repro.sweeps.spec.SweepCell` keys to
+:class:`~repro.simulation.results.SimulationResult` objects.  Experiment
+modules assemble their rows by looking cells up here instead of calling
+the simulator directly, which is what lets one execution of the unioned
+grid feed every figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.simulation.results import SimulationResult
+from repro.sweeps.spec import CellKey, SweepCell, SweepGrid
+
+
+class SweepResults:
+    """Results of executed sweep cells, keyed by cell identity.
+
+    Repeated additions of the same cell are deduplicated: the first
+    stored result wins, so merging the outcome of overlapping grids is
+    idempotent.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[CellKey, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, cell: SweepCell, result: SimulationResult) -> bool:
+        """Store one cell's result; returns False if the cell was present."""
+        if cell.key in self._by_key:
+            return False
+        self._by_key[cell.key] = result
+        return True
+
+    def merge(self, other: "SweepResults") -> None:
+        for key, result in other._by_key.items():
+            self._by_key.setdefault(key, result)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, system: str, device: str, task: str, **overrides: object) -> SimulationResult:
+        """Look one cell up by coordinates (the figure-module API)."""
+        return self[SweepCell.make(system, device, task, **overrides)]
+
+    def __getitem__(self, cell: SweepCell) -> SimulationResult:
+        try:
+            return self._by_key[cell.key]
+        except KeyError:
+            raise KeyError(f"no result for sweep cell {cell.label()}") from None
+
+    def __contains__(self, cell: SweepCell) -> bool:
+        return cell.key in self._by_key
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[CellKey]:
+        return iter(self._by_key)
+
+    def missing(self, grid: SweepGrid) -> List[SweepCell]:
+        """Cells of ``grid`` that have no stored result yet."""
+        return [cell for cell in grid if cell.key not in self._by_key]
+
+    def items(self) -> Iterator[Tuple[CellKey, SimulationResult]]:
+        return iter(self._by_key.items())

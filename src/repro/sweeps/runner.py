@@ -1,0 +1,183 @@
+"""Execute sweep grids, serially or across a process pool.
+
+Serial execution runs every cell on one
+:class:`~repro.experiments.base.EvaluationContext`, so boards, CoE
+models, request streams and profiled performance matrices are built
+once and shared — the behaviour the figure modules have always relied
+on.
+
+Parallel execution (``jobs > 1``) fans the grid out over a
+``ProcessPoolExecutor``.  Each worker process builds its own
+``EvaluationContext`` once (in the pool initializer) and keeps it for
+its whole lifetime, so a worker rebuilds the board / model / matrix for
+a given (device, task) at most once no matter how many cells it
+executes.  Cells are batched by (device, task) before submission, which
+keeps all cells sharing those expensive artefacts on the same worker;
+when there are more workers than batches, batches are split so the
+extra workers still get work.
+
+Cell execution itself is deterministic (the simulator is a seeded
+discrete-event engine), so serial and parallel runs of the same grid
+produce identical results — ``tests/test_sweeps.py`` enforces this for
+every registered experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.base import EvaluationContext, EvaluationSettings
+from repro.serving.factory import build_system
+from repro.simulation.results import SimulationResult
+from repro.sweeps.results import SweepResults
+from repro.sweeps.spec import SweepCell, SweepGrid
+
+
+def execute_cell(
+    context: EvaluationContext, cell: SweepCell, keep_requests: bool = False
+) -> SimulationResult:
+    """Run one sweep cell on an evaluation context.
+
+    This is the single serving primitive behind both the runner and the
+    ``EvaluationContext.serve`` compatibility shim.  Per-request records
+    are dropped unless ``keep_requests`` — figures aggregate whole-run
+    metrics, and dropping them keeps results cheap to pickle back from
+    worker processes.
+    """
+    device = context.device(cell.device)
+    _, model = context.board_and_model(cell.task)
+    system = build_system(
+        cell.system,
+        device,
+        model,
+        context.usage_profile(cell.task),
+        performance_matrix=context.performance_matrix(cell.device, cell.task),
+        **cell.override_dict(),
+    )
+    result = system.serve(context.stream(cell.task))
+    if not keep_requests and result.requests:
+        result = dataclasses.replace(result, requests=())
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  The context lives in a module global set by
+# the pool initializer, so one build of boards/models/matrices serves
+# every batch the worker receives.
+# ----------------------------------------------------------------------
+_WORKER_CONTEXT: Optional[EvaluationContext] = None
+
+
+def _init_worker(settings: EvaluationSettings) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = EvaluationContext(settings)
+
+
+def _run_batch(cells: Sequence[SweepCell]) -> List[Tuple[SweepCell, SimulationResult]]:
+    assert _WORKER_CONTEXT is not None, "worker initializer did not run"
+    return [(cell, execute_cell(_WORKER_CONTEXT, cell)) for cell in cells]
+
+
+class SweepRunner:
+    """Execute a :class:`SweepGrid` and collect :class:`SweepResults`.
+
+    Parameters
+    ----------
+    settings:
+        Evaluation settings used to build contexts.  Must be picklable
+        when ``jobs > 1`` (workers rebuild their context from it).
+    jobs:
+        Number of worker processes; ``1`` (the default) runs in-process.
+    context:
+        Optional existing context to run on (serial mode only); lets
+        the runner share caches with surrounding code.
+    keep_requests:
+        Keep per-request records on the results.  Serial mode only —
+        parallel runs always strip them before pickling.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[EvaluationSettings] = None,
+        jobs: int = 1,
+        context: Optional[EvaluationContext] = None,
+        keep_requests: bool = False,
+    ) -> None:
+        if context is not None and settings is None:
+            settings = context.settings
+        self.settings = settings or EvaluationSettings()
+        self.jobs = max(1, int(jobs))
+        self.keep_requests = keep_requests
+        if keep_requests and self.jobs > 1:
+            raise ValueError("keep_requests is only supported for serial (jobs=1) runs")
+        if context is not None and self.jobs > 1:
+            raise ValueError("an existing context can only back a serial (jobs=1) run")
+        self._context = context
+
+    # ------------------------------------------------------------------
+    def run(self, grid: SweepGrid, results: Optional[SweepResults] = None) -> SweepResults:
+        """Execute every cell of ``grid`` not already present in ``results``."""
+        results = results if results is not None else SweepResults()
+        todo = results.missing(grid)
+        if not todo:
+            return results
+        if self.jobs == 1:
+            self._run_serial(todo, results)
+        else:
+            self._run_parallel(todo, results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, cells: Sequence[SweepCell], results: SweepResults) -> None:
+        if self._context is None:
+            self._context = EvaluationContext(self.settings)
+        for cell in cells:
+            results.add(cell, execute_cell(self._context, cell, self.keep_requests))
+
+    def _run_parallel(self, cells: Sequence[SweepCell], results: SweepResults) -> None:
+        batches = self._make_batches(cells)
+        workers = min(self.jobs, len(batches))
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(self.settings,)
+        ) as pool:
+            for batch_results in pool.map(_run_batch, batches):
+                for cell, result in batch_results:
+                    results.add(cell, result)
+
+    def _make_batches(self, cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
+        """Batch cells by (device, task), splitting when workers outnumber groups.
+
+        Keeping one (device, task) per batch means the worker executing
+        it profiles that pair exactly once; splitting only happens when
+        the grid has fewer groups than workers, trading some duplicated
+        profiling for otherwise-idle cores.
+        """
+        groups: Dict[Tuple[str, str], List[SweepCell]] = {}
+        for cell in cells:
+            groups.setdefault((cell.device, cell.task), []).append(cell)
+        chunks_per_group = max(1, -(-self.jobs // len(groups)))
+        batches: List[List[SweepCell]] = []
+        for group in groups.values():
+            splits = min(len(group), chunks_per_group)
+            size = -(-len(group) // splits)
+            batches.extend(group[i : i + size] for i in range(0, len(group), size))
+        return batches
+
+
+def ensure_results(
+    grid: SweepGrid,
+    results: Optional[SweepResults] = None,
+    context: Optional[EvaluationContext] = None,
+    settings: Optional[EvaluationSettings] = None,
+) -> SweepResults:
+    """Guarantee that every cell of ``grid`` has a result.
+
+    Figure modules call this with whatever ``results`` the harness
+    handed them: cells the harness already executed (typically the whole
+    cross-figure union, possibly in parallel) are reused, and any
+    stragglers run serially on the caller's context.
+    """
+    runner = SweepRunner(settings=settings, context=context)
+    return runner.run(grid, results=results)

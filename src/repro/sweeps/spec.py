@@ -1,0 +1,146 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepCell` names one serving simulation — a (system, device,
+task, serve-overrides) point of the evaluation grid — without running
+it.  A :class:`SweepGrid` is an ordered, duplicate-free collection of
+cells; experiment modules declare their grid, and grids from several
+experiments are unioned before execution so shared cells (Figures 13
+and 14 serve the exact same 40 runs, as do Figures 15 and 16) are
+simulated once.
+
+Cells are identified by ``(system, device, task, overrides)``; the
+``tags`` field records which experiments requested a cell and is
+excluded from identity, so the union merges tags instead of duplicating
+work.  Both classes are frozen dataclasses built from tuples, which
+keeps them hashable and picklable — a requirement for shipping grids to
+:class:`~repro.sweeps.runner.SweepRunner` worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+#: Identity of a cell: everything that affects the simulated result.
+CellKey = Tuple[str, str, str, Tuple[Tuple[str, object], ...]]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (system, device, task, overrides) point of a sweep grid."""
+
+    system: str
+    device: str
+    task: str
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    tags: Tuple[str, ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        system: str,
+        device: str,
+        task: str,
+        tags: Sequence[str] = (),
+        **overrides: object,
+    ) -> "SweepCell":
+        """Build a cell with keyword serve-overrides in canonical order."""
+        return cls(
+            system=system,
+            device=device,
+            task=task,
+            overrides=tuple(sorted(overrides.items())),
+            tags=tuple(tags),
+        )
+
+    @property
+    def key(self) -> CellKey:
+        """Identity used for deduplication and result lookup (tags excluded)."""
+        return (self.system, self.device, self.task, self.overrides)
+
+    def override_dict(self) -> Dict[str, object]:
+        return dict(self.overrides)
+
+    def with_tags(self, tags: Sequence[str]) -> "SweepCell":
+        return SweepCell(self.system, self.device, self.task, self.overrides, tuple(tags))
+
+    def label(self) -> str:
+        """Compact human-readable form used in logs and errors."""
+        text = f"{self.system}/{self.device}/{self.task}"
+        if self.overrides:
+            text += "[" + ",".join(f"{k}={v}" for k, v in self.overrides) + "]"
+        return text
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """An ordered, duplicate-free collection of sweep cells."""
+
+    cells: Tuple[SweepCell, ...] = ()
+
+    @classmethod
+    def empty(cls) -> "SweepGrid":
+        return cls(())
+
+    @classmethod
+    def single(cls, cell: SweepCell) -> "SweepGrid":
+        return cls((cell,))
+
+    @classmethod
+    def product(
+        cls,
+        systems: Sequence[str],
+        devices: Sequence[str],
+        tasks: Sequence[str],
+        overrides: Mapping[str, object] = None,
+        tags: Sequence[str] = (),
+    ) -> "SweepGrid":
+        """The full cross product of systems x devices x tasks.
+
+        Iteration order matches the hand-rolled loops the experiment
+        modules used to contain (device-major, then task, then system),
+        so per-(device, task) artefacts are reused consecutively.
+        """
+        cells = [
+            SweepCell.make(system, device, task, tags=tags, **(overrides or {}))
+            for device in devices
+            for task in tasks
+            for system in systems
+        ]
+        return cls._deduplicate(cells)
+
+    @staticmethod
+    def union(*grids: "SweepGrid") -> "SweepGrid":
+        """Union several grids, keeping first-seen order and merging tags."""
+        cells: List[SweepCell] = []
+        for grid in grids:
+            cells.extend(grid.cells)
+        return SweepGrid._deduplicate(cells)
+
+    @staticmethod
+    def _deduplicate(cells: Iterable[SweepCell]) -> "SweepGrid":
+        merged: Dict[CellKey, SweepCell] = {}
+        for cell in cells:
+            existing = merged.get(cell.key)
+            if existing is None:
+                merged[cell.key] = cell
+            elif cell.tags:
+                tags = existing.tags + tuple(t for t in cell.tags if t not in existing.tags)
+                merged[cell.key] = existing.with_tags(tags)
+        return SweepGrid(tuple(merged.values()))
+
+    def __or__(self, other: "SweepGrid") -> "SweepGrid":
+        return SweepGrid.union(self, other)
+
+    def __iter__(self) -> Iterator[SweepCell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __bool__(self) -> bool:
+        return bool(self.cells)
+
+    def tagged(self, tag: str) -> "SweepGrid":
+        """The sub-grid of cells carrying ``tag``."""
+        return SweepGrid(tuple(cell for cell in self.cells if tag in cell.tags))

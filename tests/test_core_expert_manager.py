@@ -1,5 +1,7 @@
 """Tests for dependency-aware expert management (§4.3, Figure 10)."""
 
+import dataclasses
+
 import pytest
 
 from repro.coe.model import CoEModel
@@ -115,3 +117,41 @@ class TestProtection:
         # Stage 2 orders the rest by ascending usage probability.
         remaining = order[1:]
         assert remaining == sorted(remaining, key=lambda e: usage.probability(e))
+
+
+class TestPartialSelection:
+    """Byte-bounded selection must be a prefix of the two-stage full sort."""
+
+    def _sizes(self, model, resident):
+        return {expert_id: model.expert(expert_id).weight_bytes for expert_id in resident}
+
+    @pytest.mark.parametrize(
+        "resident",
+        [
+            ("cls/a", "cls/b", "cls/c"),              # stage 2 only
+            ("cls/c", "det/0", "det/1"),              # both stage-1 orphans
+            ("cls/a", "cls/c", "det/1", "det/0"),     # mixed stages
+        ],
+    )
+    def test_partial_order_is_prefix_of_full_sort(self, model, usage, resident):
+        policy = DependencyAwareEvictionPolicy(model, usage)
+        base = make_context(resident)
+        sizes = self._sizes(model, resident)
+        full_order = policy.victim_order(base)
+        total = sum(sizes.values())
+        for bytes_to_free in (1, min(sizes.values()), total // 2, total):
+            partial = policy.victim_order(
+                dataclasses.replace(base, bytes_to_free=bytes_to_free, resident_bytes=sizes)
+            )
+            assert partial == full_order[: len(partial)]
+            assert sum(sizes[e] for e in partial) >= bytes_to_free
+
+    def test_stage_one_coverage_skips_stage_two(self, model, usage):
+        """When an orphan frees enough bytes, stage 2 is never touched."""
+        policy = DependencyAwareEvictionPolicy(model, usage)
+        resident = ("cls/c", "det/0", "det/1")
+        sizes = self._sizes(model, resident)
+        context = dataclasses.replace(
+            make_context(resident), bytes_to_free=1, resident_bytes=sizes
+        )
+        assert policy.victim_order(context) == ["det/1"]

@@ -1,8 +1,12 @@
 """Tests for the classic expert replacement policies."""
 
+import dataclasses
+import random
+
 import pytest
 
 from repro.policies import EvictionContext, FIFOPolicy, LFUPolicy, LRUPolicy, RandomPolicy
+from repro.policies.base import select_victims
 
 
 def make_context(resident, incoming="new", protected=(), queued=(), pool="pool-gpu"):
@@ -139,3 +143,55 @@ class TestRandom:
         policy.reset()
         second = policy.victim_order(make_context([f"e{i}" for i in range(10)]))
         assert first == second
+
+
+def _policy_with_history(policy_class, residents, rng):
+    """A policy whose counters reflect a random load/access history."""
+    policy = policy_class()
+    for expert in residents:
+        policy.record_load("p", expert, 0.0)
+    for _ in range(len(residents) * 3):
+        policy.record_access("p", rng.choice(residents), rng.random())
+    return policy
+
+
+class TestPartialSelection:
+    """Byte-bounded victim selection must match a prefix of the full sort."""
+
+    @pytest.mark.parametrize("policy_class", [LRUPolicy, LFUPolicy, FIFOPolicy])
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_partial_order_is_prefix_of_full_sort(self, policy_class, seed):
+        rng = random.Random(seed)
+        residents = [f"e{i:03d}" for i in range(40)]
+        rng.shuffle(residents)
+        sizes = {expert: rng.randrange(1, 50) * 1000 for expert in residents}
+        policy = _policy_with_history(policy_class, residents, rng)
+
+        base = make_context(residents, pool="p")
+        full_order = policy.victim_order(base)
+        for bytes_to_free in (1, 5000, 40000, sum(sizes.values())):
+            partial = policy.victim_order(
+                dataclasses.replace(base, bytes_to_free=bytes_to_free, resident_bytes=sizes)
+            )
+            assert partial == full_order[: len(partial)], "not a prefix of the full sort"
+            freed = sum(sizes[expert] for expert in partial)
+            assert freed >= min(bytes_to_free, sum(sizes.values()))
+            if len(partial) > 1:
+                # Minimal: without the last victim the bytes would not suffice.
+                assert freed - sizes[partial[-1]] < bytes_to_free
+
+    def test_zero_bytes_to_free_selects_nothing(self):
+        policy = LRUPolicy()
+        context = dataclasses.replace(
+            make_context(["a", "b"]), bytes_to_free=0, resident_bytes={"a": 1, "b": 1}
+        )
+        assert policy.victim_order(context) == []
+
+    def test_select_victims_without_sizes_is_full_sort(self):
+        order = select_victims(["b", "c", "a"], lambda e: e)
+        assert order == ["a", "b", "c"]
+
+    def test_select_victims_covers_requested_bytes(self):
+        sizes = {f"e{i}": 10 for i in range(30)}
+        order = select_victims(sorted(sizes), lambda e: e, 95, sizes)
+        assert order == sorted(sizes)[:10]

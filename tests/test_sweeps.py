@@ -1,0 +1,244 @@
+"""Tests for the declarative sweep grid and the parallel experiment runner.
+
+The determinism class is the contract the ISSUE demands: serial and
+parallel (``jobs=2``) executions of every registered experiment must
+produce row-for-row identical :class:`ExperimentResult` objects, and
+repeated cells must be simulated exactly once.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments import EXPERIMENT_GRIDS, EXPERIMENTS
+from repro.experiments.base import (
+    ABLATION_SYSTEMS,
+    COMPARISON_SYSTEMS,
+    EvaluationContext,
+    EvaluationSettings,
+    ExperimentResult,
+)
+from repro.experiments.cli import collect_grid, main as cli_main, run_experiments
+from repro.sweeps import SweepCell, SweepGrid, SweepResults, SweepRunner, execute_cell
+
+#: Small enough that the whole registry runs twice (serial + parallel)
+#: in tens of seconds; A2 included so figure19's override cells exist.
+TINY_SETTINGS = EvaluationSettings(
+    full_scale=False,
+    reduced_requests=120,
+    devices=("numa",),
+    task_names=("A1", "A2"),
+)
+
+#: Shrink the non-serving experiments the same way the settings shrink
+#: the serving ones, so the determinism sweep stays fast.
+TINY_KWARGS = {
+    "figure05": {"batch_sizes": (1, 2, 4, 8)},
+    "figure06": {"batch_sizes": (1, 2, 4, 8)},
+    "figure12": {"batch_sizes": (1, 2, 4, 8)},
+    "figure17": {"sample_size": 300},
+    "figure18": {"sample_size": 300},
+}
+
+
+class TestSweepCell:
+    def test_make_canonicalises_override_order(self):
+        a = SweepCell.make("s", "numa", "A1", beta=2, alpha=1)
+        b = SweepCell.make("s", "numa", "A1", alpha=1, beta=2)
+        assert a.key == b.key
+
+    def test_tags_excluded_from_identity(self):
+        a = SweepCell.make("s", "numa", "A1", tags=("figure13",))
+        b = SweepCell.make("s", "numa", "A1", tags=("figure14",))
+        assert a.key == b.key and a.tags != b.tags
+
+    def test_override_dict_round_trip(self):
+        cell = SweepCell.make("s", "numa", "A1", scheduling_latency_ms=0.0)
+        assert cell.override_dict() == {"scheduling_latency_ms": 0.0}
+
+    def test_label_mentions_overrides(self):
+        cell = SweepCell.make("s", "numa", "A1", x=1)
+        assert "x=1" in cell.label()
+
+
+class TestSweepGrid:
+    def test_product_covers_cross_product(self):
+        grid = SweepGrid.product(("s1", "s2"), ("numa", "uma"), ("A1",))
+        assert len(grid) == 4
+        assert {cell.key for cell in grid} == {
+            ("s1", "numa", "A1", ()),
+            ("s2", "numa", "A1", ()),
+            ("s1", "uma", "A1", ()),
+            ("s2", "uma", "A1", ()),
+        }
+
+    def test_union_deduplicates_and_merges_tags(self):
+        first = SweepGrid.product(("s1",), ("numa",), ("A1",), tags=("figure13",))
+        second = SweepGrid.product(("s1", "s2"), ("numa",), ("A1",), tags=("figure14",))
+        union = first | second
+        assert len(union) == 2
+        merged = next(cell for cell in union if cell.system == "s1")
+        assert merged.tags == ("figure13", "figure14")
+
+    def test_figure_grids_share_cells(self):
+        settings = TINY_SETTINGS
+        union = SweepGrid.union(
+            EXPERIMENT_GRIDS["figure13"](settings), EXPERIMENT_GRIDS["figure14"](settings)
+        )
+        assert len(union) == len(EXPERIMENT_GRIDS["figure13"](settings))
+
+    def test_registry_declares_a_grid_for_every_experiment(self):
+        assert set(EXPERIMENT_GRIDS) == set(EXPERIMENTS)
+        for grid_fn in EXPERIMENT_GRIDS.values():
+            assert isinstance(grid_fn(TINY_SETTINGS), SweepGrid)
+
+    def test_grid_and_settings_are_picklable(self):
+        grid = collect_grid(sorted(EXPERIMENTS), TINY_SETTINGS)
+        assert pickle.loads(pickle.dumps(grid)) == grid
+        assert pickle.loads(pickle.dumps(TINY_SETTINGS)) == TINY_SETTINGS
+
+
+class TestSweepResults:
+    def _result(self, context, cell):
+        return execute_cell(context, cell)
+
+    def test_duplicate_cells_stored_once(self):
+        results = SweepResults()
+        cell = SweepCell.make("s", "numa", "A1")
+        sentinel_a, sentinel_b = object(), object()
+        assert results.add(cell, sentinel_a) is True
+        assert results.add(cell.with_tags(("other",)), sentinel_b) is False
+        assert len(results) == 1
+        assert results[cell] is sentinel_a
+
+    def test_missing_lists_unexecuted_cells(self):
+        results = SweepResults()
+        grid = SweepGrid.product(("s1", "s2"), ("numa",), ("A1",))
+        results.add(grid.cells[0], object())
+        assert results.missing(grid) == [grid.cells[1]]
+
+    def test_lookup_by_coordinates_and_overrides(self):
+        results = SweepResults()
+        plain = SweepCell.make("s", "numa", "A1")
+        tuned = SweepCell.make("s", "numa", "A1", scheduling_latency_ms=0.0)
+        results.add(plain, "plain")
+        results.add(tuned, "tuned")
+        assert results.get("s", "numa", "A1") == "plain"
+        assert results.get("s", "numa", "A1", scheduling_latency_ms=0.0) == "tuned"
+        with pytest.raises(KeyError):
+            results.get("s", "uma", "A1")
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return EvaluationContext(TINY_SETTINGS)
+
+
+class TestSweepRunner:
+    def test_serve_shim_matches_one_cell_sweep(self, tiny_context):
+        cell = SweepCell.make("coserve-best", "numa", "A1")
+        direct = execute_cell(tiny_context, cell, keep_requests=True)
+        shim = tiny_context.serve("coserve-best", "numa", "A1")
+        assert shim == direct
+        assert shim.requests, "the compatibility shim keeps per-request records"
+
+    def test_runner_skips_cells_already_present(self, tiny_context):
+        grid = SweepGrid.single(SweepCell.make("coserve-best", "numa", "A1"))
+        results = SweepResults()
+        results.add(grid.cells[0], "already-there")
+        out = SweepRunner(context=tiny_context).run(grid, results=results)
+        assert out[grid.cells[0]] == "already-there"
+
+    def test_keep_requests_rejected_in_parallel(self):
+        with pytest.raises(ValueError):
+            SweepRunner(settings=TINY_SETTINGS, jobs=2, keep_requests=True)
+
+    def test_existing_context_rejected_in_parallel(self, tiny_context):
+        with pytest.raises(ValueError):
+            SweepRunner(context=tiny_context, jobs=2)
+
+
+class TestDeterminism:
+    """Serial and parallel sweeps must be indistinguishable row-for-row."""
+
+    @pytest.fixture(scope="class")
+    def serial_and_parallel(self):
+        names = sorted(EXPERIMENTS)
+        serial = run_experiments(names, TINY_SETTINGS, jobs=1, experiment_kwargs=TINY_KWARGS)
+        parallel = run_experiments(names, TINY_SETTINGS, jobs=2, experiment_kwargs=TINY_KWARGS)
+        return serial, parallel
+
+    def test_every_experiment_has_identical_rows(self, serial_and_parallel):
+        serial, parallel = serial_and_parallel
+        assert [name for name, _, _ in serial] == [name for name, _, _ in parallel]
+        for (name, serial_result, _), (_, parallel_result, _) in zip(serial, parallel):
+            assert isinstance(serial_result, ExperimentResult)
+            assert serial_result.rows == parallel_result.rows, f"{name} rows diverged"
+            assert serial_result.notes == parallel_result.notes, f"{name} notes diverged"
+
+    def test_parallel_sweep_results_match_serial_cell_for_cell(self):
+        grid = collect_grid(sorted(EXPERIMENTS), TINY_SETTINGS)
+        serial = SweepRunner(settings=TINY_SETTINGS).run(grid)
+        parallel = SweepRunner(settings=TINY_SETTINGS, jobs=2).run(grid)
+        assert len(serial) == len(parallel) == len(grid)
+        for cell in grid:
+            assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
+
+    def test_union_grid_is_smaller_than_sum_of_figure_grids(self):
+        names = sorted(EXPERIMENTS)
+        individual = sum(len(EXPERIMENT_GRIDS[name](TINY_SETTINGS)) for name in names)
+        union = len(collect_grid(names, TINY_SETTINGS))
+        # Figures 13/14 and 15/16 declare identical grids, so the union
+        # must be well below the naive total.
+        assert union <= individual - len(COMPARISON_SYSTEMS) - len(ABLATION_SYSTEMS)
+
+
+class TestCLI:
+    def test_json_format_is_parseable(self, capsys):
+        assert cli_main(["figure01", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "Figure 1" and payload["rows"]
+
+    def test_json_format_for_several_experiments_is_one_array(self, capsys):
+        assert cli_main(["figure01", "table01", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["Figure 1", "Table 1"]
+
+    def test_csv_format_has_header_and_rows(self, capsys):
+        assert cli_main(["table01", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) >= 3  # header + one row per device
+
+    def test_output_directory_receives_one_file_per_experiment(self, tmp_path, capsys):
+        assert (
+            cli_main(
+                ["figure01", "table01", "--format", "json", "--output", str(tmp_path)]
+            )
+            == 0
+        )
+        written = sorted(path.name for path in tmp_path.iterdir())
+        assert written == ["figure01.json", "table01.json"]
+        payload = json.loads((tmp_path / "figure01.json").read_text())
+        assert payload["name"] == "Figure 1"
+
+    def test_jobs_flag_runs_parallel_sweep(self, capsys):
+        exit_code = cli_main(
+            [
+                "figure13",
+                "--devices",
+                "numa",
+                "--tasks",
+                "A1",
+                "--requests",
+                "120",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "CoServe Best" in capsys.readouterr().out
+
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table01", "--jobs", "0"])
