@@ -1,17 +1,22 @@
-"""Microbenchmark for the engine hot path (run-structured queues,
-residency index, O(E) assigning).
+"""Microbenchmarks for the engine hot path.
 
-A large synthetic stream floods many executors so queues grow long —
-the regime where the pre-optimisation flat-list queue and the
-all-executor residency scans are quadratic.  The same stream is served
-by the optimised engine and by the pre-PR reference implementation
-(:mod:`repro.simulation.reference`); the benchmark asserts both that
-the results are bit-identical and that the optimised hot path is at
-least ``MIN_SPEEDUP``× faster.
+Two guards share one flood workload (long queues, many switches — the
+regime where per-event costs dominate):
+
+* **Hot-path speedup** — the optimised engine (run-structured queues,
+  residency index, O(E) assigning) must stay at least ``MIN_SPEEDUP``×
+  faster than the pre-optimisation reference implementation
+  (:mod:`repro.simulation.reference`), with bit-identical results.
+* **Observer overhead** — the session path behind ``run()`` (typed
+  events dispatched to the built-in metrics observer) must stay within
+  ``MAX_OBSERVER_OVERHEAD`` of the preserved pre-redesign monolithic
+  loop (:func:`repro.simulation.reference.preredesign_run`), again with
+  bit-identical results.  This bounds the price of the observer hook
+  surface on runs that only use the built-ins.
 
 Run with ``COSERVE_BENCH_FULL_SCALE=1`` for the full-size stream; the
-default size keeps the check quick enough for CI while the asymptotic
-gap stays far above the asserted floor.
+default size keeps the checks quick enough for CI while the asymptotic
+gap stays far above the asserted floors.
 """
 
 from __future__ import annotations
@@ -26,12 +31,16 @@ from repro.hardware.presets import make_numa_device
 from repro.serving import CoServeSystem
 from repro.serving.base import ServingSystem
 from repro.simulation.engine import SimulationOptions
-from repro.simulation.reference import referencify
+from repro.simulation.reference import preredesign_run, referencify
 from repro.workload.circuit_board import build_inspection_model, make_board
 from repro.workload.generator import generate_request_stream
 
 #: Required speedup of the optimised engine over the reference engine.
 MIN_SPEEDUP = 3.0
+
+#: Allowed slowdown of the session path (with its built-in observers)
+#: over the pre-redesign inline-metrics loop: within 10 %.
+MAX_OBSERVER_OVERHEAD = 1.10
 
 
 def _full_scale() -> bool:
@@ -124,4 +133,58 @@ def test_engine_hotpath_speedup(hotpath_case):
     assert speedup >= MIN_SPEEDUP, (
         f"hot-path speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
         f"(reference {slow_elapsed:.3f}s, optimised {fast_elapsed:.3f}s)"
+    )
+
+
+def _timed_call(run):
+    start = time.perf_counter()
+    result = run()
+    return time.perf_counter() - start, result
+
+
+def _best_of_two_calls(run_once):
+    """Min-of-two timing; ``run_once`` builds a fresh engine per call."""
+    first_elapsed, result = _timed_call(run_once)
+    second_elapsed, second_result = _timed_call(run_once)
+    assert result == second_result, "simulation is not deterministic across runs"
+    return min(first_elapsed, second_elapsed), result
+
+
+def test_session_observer_overhead(hotpath_case):
+    """Session + built-in observers within 10 % of the pre-redesign loop.
+
+    Both sides run the *optimised* engine on the 16k-request flood; the
+    only difference is how metrics are collected — inline calls in the
+    preserved monolithic loop versus typed events dispatched to the
+    built-in metrics observer in the session.  Results must stay
+    bit-identical, and the hook surface must not cost more than
+    ``MAX_OBSERVER_OVERHEAD`` in wall-clock time.
+    """
+    stream = hotpath_case[2]
+
+    # Warm up interpreter/caches on fresh engines for both paths.
+    _timed_run(_build_simulation(hotpath_case), stream)
+    preredesign_run(_build_simulation(hotpath_case), stream)
+
+    session_elapsed, session_result = _best_of_two_calls(
+        lambda: _build_simulation(hotpath_case).run(stream)
+    )
+    preredesign_elapsed, preredesign_result = _best_of_two_calls(
+        lambda: preredesign_run(_build_simulation(hotpath_case), stream)
+    )
+
+    assert session_result == preredesign_result, (
+        "the session path changed the simulated result"
+    )
+
+    overhead = session_elapsed / preredesign_elapsed
+    print(
+        f"\nobserver overhead: pre-redesign loop {preredesign_elapsed * 1000:.0f} ms, "
+        f"session {session_elapsed * 1000:.0f} ms, ratio {overhead:.3f}x "
+        f"({len(stream)} requests)"
+    )
+    assert session_elapsed <= preredesign_elapsed * MAX_OBSERVER_OVERHEAD, (
+        f"observer dispatch overhead regressed: {overhead:.3f}x > "
+        f"{MAX_OBSERVER_OVERHEAD}x (pre-redesign {preredesign_elapsed:.3f}s, "
+        f"session {session_elapsed:.3f}s)"
     )

@@ -15,9 +15,24 @@ from repro.hardware.presets import make_numa_device
 from repro.metrics.report import format_table
 from repro.serving import CoServeSystem, SambaCoESystem
 from repro.serving.base import ServingSystem
+from repro.simulation import RequestCompletion, SimObserver, SimulationAborted, SLOMonitor
 from repro.sweeps import SweepGrid, SweepRunner
 from repro.workload import build_inspection_model, make_board_a
 from repro.workload.generator import generate_request_stream
+
+
+class LatencyWatcher(SimObserver):
+    """A custom observer: tracks the worst end-to-end latency seen so far."""
+
+    def __init__(self) -> None:
+        self.worst_ms = 0.0
+        self.completed = 0
+
+    def on_request_completion(self, event: RequestCompletion) -> None:
+        self.completed += 1
+        latency = event.request.end_to_end_latency_ms
+        if latency is not None and latency > self.worst_ms:
+            self.worst_ms = latency
 
 
 def main() -> None:
@@ -40,8 +55,10 @@ def main() -> None:
     coserve = CoServeSystem.best(device, model, usage_profile)
 
     rows = []
+    serve_results = {}
     for system in (samba, coserve):
         result = system.serve(stream)
+        serve_results[result.system_name] = result
         rows.append(
             {
                 "system": result.system_name,
@@ -55,13 +72,47 @@ def main() -> None:
     speedup = rows[1]["throughput (img/s)"] / rows[0]["throughput (img/s)"]
     print(f"\nCoServe throughput improvement over Samba-CoE: {speedup:.1f}x")
 
-    # 4. Sweeps: declare a grid of (system, device, task) cells and let the
+    # 4. Sessions: the engine's primary API is a steppable session with
+    #    pluggable observers.  Attach a custom observer, advance virtual
+    #    time in slices, and read live state between steps — serve() is
+    #    just session(...).run() with the built-in metrics observer.
+    watcher = LatencyWatcher()
+    session = CoServeSystem.best(device, model, usage_profile).session(
+        stream, observers=[watcher]
+    )
+    print("\nStep loop (10 s of virtual time per slice):")
+    horizon_ms = 0.0
+    while not session.is_finished:
+        horizon_ms += 10_000.0
+        session.run_until(horizon_ms)
+        print(
+            f"t={session.now_ms / 1000:6.2f}s  completed {watcher.completed:4d}/"
+            f"{session.total_requests}  worst latency {watcher.worst_ms / 1000:.2f}s"
+        )
+    assert session.result == serve_results[session.result.system_name]  # == serve()
+
+    # 5. Online SLO monitoring: an observer can abort a doomed run as soon
+    #    as a latency percentile target is provably violated — no need to
+    #    finish simulating a cell that already failed its SLO.
+    monitor = SLOMonitor(target_ms=2_000.0, percentile=90.0)
+    try:
+        SambaCoESystem.baseline(device, model, usage_profile).serve(
+            stream, observers=[monitor]
+        )
+        print("\nSamba-CoE met the p90 <= 2s SLO")
+    except SimulationAborted as aborted:
+        print(f"\nSamba-CoE SLO check aborted early: {aborted.reason}")
+
+    # 6. Sweeps: declare a grid of (system, device, task) cells and let the
     #    runner execute it — pass jobs=N to fan it out over N worker
-    #    processes (identical results, less wall-clock time).  The CLI
-    #    exposes the same machinery:
+    #    processes (identical results, less wall-clock time), iterate
+    #    run_iter() for streaming results, or point SweepCache at a
+    #    directory to skip already-simulated cells.  The CLI exposes the
+    #    same machinery:
     #
-    #        coserve-experiments --all --jobs 4
+    #        coserve-experiments --all --jobs 4 --progress
     #        coserve-experiments figure13 --format json --output results/
+    #        coserve-experiments --all --seed 7 --cache ~/.cache/coserve-sweeps
     grid = SweepGrid.product(
         systems=("samba-coe", "coserve-best"),
         devices=("numa", "uma"),

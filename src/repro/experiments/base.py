@@ -94,6 +94,11 @@ class EvaluationSettings:
     reduced_requests: int = 1000
     devices: Tuple[str, ...] = ("numa", "uma")
     task_names: Tuple[str, ...] = ("A1", "A2", "B1", "B2")
+    #: Override every task's built-in workload seed with one global seed
+    #: (the CLI's ``--seed``), making a full ``--all`` regeneration
+    #: reproducible end to end from a single number.  ``None`` keeps the
+    #: per-task defaults.
+    seed: Optional[int] = None
 
     def requests_for(self, task: Task) -> int:
         if self.full_scale:
@@ -145,7 +150,9 @@ class EvaluationContext:
         key = (task_name, count)
         if key not in self._streams:
             board, model = self.board_and_model(task_name)
-            self._streams[key] = task.request_stream(board, model, num_requests=count)
+            self._streams[key] = task.request_stream(
+                board, model, num_requests=count, seed=self.settings.seed
+            )
         return self._streams[key]
 
     def usage_profile(self, task_name: str, num_requests: Optional[int] = None) -> UsageProfile:

@@ -19,11 +19,18 @@ Write one CSV file per experiment into a directory::
 
     coserve-experiments figure13 figure15 --format csv --output results/
 
+Regenerate everything with live progress, a pinned workload seed and an
+on-disk cell cache (a second identical invocation simulates nothing)::
+
+    coserve-experiments --all --progress --seed 7 --cache ~/.cache/coserve-sweeps
+
 Before any experiment runs, the CLI unions the sweep grids declared by
 the selected experiments and executes the deduplicated union once (with
 ``--jobs N`` the grid is spread over N worker processes); each figure
 then assembles its rows from the shared results, so cells required by
-several figures are simulated exactly once per invocation.
+several figures are simulated exactly once per invocation.  With
+``--cache DIR`` they are simulated at most once per *settings
+fingerprint*, across invocations and processes.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import EXPERIMENT_GRIDS, EXPERIMENTS
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
-from repro.sweeps import SweepGrid, SweepRunner
+from repro.sweeps import SweepCache, SweepGrid, SweepResults, SweepRunner
 
 #: File suffix per output format.
 _FORMAT_SUFFIX = {"table": "txt", "json": "json", "csv": "csv"}
@@ -91,6 +98,29 @@ def build_parser() -> argparse.ArgumentParser:
         "Rows are identical to a serial run; only wall-clock time changes.",
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Override the tasks' built-in workload seeds with one global seed, "
+        "making a full regeneration reproducible end to end from a single number "
+        "(default: the per-task seeds).",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="Persist sweep-cell results under DIR and reuse them across "
+        "invocations (key: cell identity + a fingerprint of the evaluation "
+        "settings, so changed knobs never reuse stale cells).",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="Report live sweep cell counts and per-experiment row counts on "
+        "stderr while the regeneration runs.",
+    )
+    parser.add_argument(
         "--format",
         choices=sorted(_FORMAT_SUFFIX),
         default="table",
@@ -123,6 +153,8 @@ def run_experiments(
     settings: EvaluationSettings,
     jobs: int = 1,
     experiment_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    cache_dir: Optional[str] = None,
+    progress: bool = False,
 ) -> List[Tuple[str, ExperimentResult, float]]:
     """Run experiments over one shared sweep execution.
 
@@ -132,15 +164,29 @@ def run_experiments(
     processes when ``jobs > 1`` — and every experiment reads from the
     same result store.  ``experiment_kwargs`` optionally forwards extra
     keyword arguments to individual run functions (e.g. a smaller
-    ``sample_size`` for the offline-tuning figures).
+    ``sample_size`` for the offline-tuning figures).  ``cache_dir``
+    backs the sweep with an on-disk cell cache; ``progress`` streams
+    live cell/row counts to stderr via the runner's ``run_iter``.
     """
     context = EvaluationContext(settings)
     grid = collect_grid(names, settings)
+    cache = SweepCache(cache_dir, settings) if cache_dir else None
     if jobs > 1:
-        runner = SweepRunner(settings=settings, jobs=jobs)
+        runner = SweepRunner(settings=settings, jobs=jobs, cache=cache)
     else:
-        runner = SweepRunner(context=context)
-    results = runner.run(grid)
+        runner = SweepRunner(context=context, cache=cache)
+    results = SweepResults()
+    if progress:
+        total = len(grid)
+        for done, _ in enumerate(runner.run_iter(grid, results=results), start=1):
+            print(f"\r[sweep {done}/{total} cells]", end="", file=sys.stderr, flush=True)
+        if total:
+            hint = ""
+            if cache is not None and cache.hits:
+                hint = f" ({cache.hits} from cache)"
+            print(f"\r[sweep {total}/{total} cells]{hint}", file=sys.stderr)
+    else:
+        runner.run(grid, results=results)
 
     outcomes: List[Tuple[str, ExperimentResult, float]] = []
     for name in names:
@@ -148,6 +194,8 @@ def run_experiments(
         start = time.perf_counter()
         result = EXPERIMENTS[name](context=context, results=results, **kwargs)
         outcomes.append((name, result, time.perf_counter() - start))
+        if progress:
+            print(f"[{name}: {len(result.rows)} rows]", file=sys.stderr)
     return outcomes
 
 
@@ -169,10 +217,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         reduced_requests=arguments.requests,
         devices=tuple(arguments.devices),
         task_names=tuple(arguments.tasks),
+        seed=arguments.seed,
     )
 
     start = time.perf_counter()
-    outcomes = run_experiments(names, settings, jobs=arguments.jobs)
+    outcomes = run_experiments(
+        names,
+        settings,
+        jobs=arguments.jobs,
+        cache_dir=arguments.cache,
+        progress=arguments.progress,
+    )
     total_elapsed = time.perf_counter() - start
     grid_size = len(collect_grid(names, settings))
     # The serving work happens in one shared sweep before row assembly,

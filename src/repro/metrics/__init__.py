@@ -3,25 +3,30 @@
 The collector accumulates the quantities the paper reports: throughput
 (Figure 13, 15, 17, 18), expert switches (Figure 14, 16), the split of
 busy time between expert switching and execution (Figure 1), and
-scheduling overhead (Figure 19).  The report helpers render experiment
+scheduling overhead (Figure 19).  Collection attaches to simulation
+sessions through the observer API (:class:`MetricsObserver`,
+:class:`TimelineObserver`); the report helpers render experiment
 results as aligned text tables.
 """
 
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import MetricsCollector, MetricsObserver
 from repro.metrics.report import format_table, format_mapping
 from repro.metrics.timeline import (
     ExecutorTimeline,
     TimelineInterval,
+    TimelineObserver,
     build_timelines,
     utilisation_report,
 )
 
 __all__ = [
     "MetricsCollector",
+    "MetricsObserver",
     "format_table",
     "format_mapping",
     "ExecutorTimeline",
     "TimelineInterval",
+    "TimelineObserver",
     "build_timelines",
     "utilisation_report",
 ]

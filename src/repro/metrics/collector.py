@@ -1,9 +1,20 @@
-"""Run-level metric accumulation."""
+"""Run-level metric accumulation.
+
+:class:`MetricsCollector` is the accumulator; :class:`MetricsObserver`
+streams a simulation session's typed events into it.  The observer is
+what :meth:`repro.simulation.engine.ServingSimulation.run` attaches as
+its built-in — metric collection rides the
+:class:`~repro.simulation.session.SimObserver` hook surface instead of
+being hard-wired into the event loop.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.session import BatchStart, ExpertLoad, JobDispatch
 
 
 @dataclass
@@ -131,3 +142,40 @@ class MetricsCollector:
         if total <= 0:
             return 0.0
         return self.total_switching_ms / total
+
+
+class MetricsObserver:
+    """Feeds session events into a :class:`MetricsCollector`.
+
+    This is the built-in observer behind the legacy
+    ``ServingSimulation.run()`` shim: with it attached, a session
+    produces exactly the collector state the pre-session inline calls
+    produced.  It implements the ``SimObserver`` protocol structurally
+    (only the three hooks it needs), so this module does not depend on
+    the simulation package.
+    """
+
+    def __init__(self, collector: Optional[MetricsCollector] = None) -> None:
+        self.collector = collector if collector is not None else MetricsCollector()
+
+    def on_job_dispatch(self, event: "JobDispatch") -> None:
+        self.collector.record_scheduling(event.scheduling_latency_ms)
+
+    def on_batch_start(self, event: "BatchStart") -> None:
+        self.collector.record_execution(
+            time_ms=event.time_ms,
+            executor_name=event.executor_name,
+            expert_id=event.expert_id,
+            batch_size=event.batch_size,
+            latency_ms=event.latency_ms,
+        )
+
+    def on_expert_load(self, event: "ExpertLoad") -> None:
+        self.collector.record_load(
+            time_ms=event.time_ms,
+            executor_name=event.executor_name,
+            expert_id=event.expert_id,
+            source_tier=event.source_tier,
+            latency_ms=event.latency_ms,
+            evicted=event.evicted,
+        )

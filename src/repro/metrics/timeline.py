@@ -1,19 +1,27 @@
-"""Per-executor timelines built from recorded simulation events.
+"""Per-executor timelines of simulation activity.
 
-When a simulation runs with ``SimulationOptions(keep_metric_events=True)``
-the metrics collector keeps every load and execution event.  This module
-turns those events into per-executor timelines and utilisation
-summaries — the kind of breakdown used to debug why a configuration
-under-performs (e.g. a CPU executor spending most of its time loading
-experts from the SSD).
+Two ways to build them:
+
+* post-hoc, from a collector that ran with
+  ``SimulationOptions(keep_metric_events=True)`` — :func:`build_timelines`;
+* live, by attaching a :class:`TimelineObserver` to a
+  :class:`~repro.simulation.session.SimulationSession` — no collector
+  event retention required, and the timelines are available mid-run.
+
+Both produce the same :class:`ExecutorTimeline` objects — the kind of
+breakdown used to debug why a configuration under-performs (e.g. a CPU
+executor spending most of its time loading experts from the SSD).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 from repro.metrics.collector import ExecutionEvent, LoadEvent, MetricsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.session import BatchStart, ExpertLoad
 
 
 @dataclass(frozen=True)
@@ -76,6 +84,57 @@ class ExecutorTimeline:
                 totals[interval.expert_id] = totals.get(interval.expert_id, 0.0) + interval.duration_ms
         ranked = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
         return ranked[:count]
+
+
+class TimelineObserver:
+    """Builds per-executor timelines live from session events.
+
+    The observer-API counterpart of :func:`build_timelines`: identical
+    :class:`ExecutorTimeline` output, but without keeping events in the
+    metrics collector and usable while the session is still running.
+    Implements the ``SimObserver`` protocol structurally.
+
+    Preloads during system initialisation happen before any session
+    exists, so (matching ``build_timelines``'s skipping of initial
+    loads) they never appear in the intervals.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: Dict[str, List[TimelineInterval]] = {}
+
+    def on_expert_load(self, event: "ExpertLoad") -> None:
+        self._intervals.setdefault(event.executor_name, []).append(
+            TimelineInterval(
+                start_ms=event.time_ms,
+                end_ms=event.time_ms + event.latency_ms,
+                kind="load",
+                expert_id=event.expert_id,
+                detail=f"from {event.source_tier}",
+            )
+        )
+
+    def on_batch_start(self, event: "BatchStart") -> None:
+        self._intervals.setdefault(event.executor_name, []).append(
+            TimelineInterval(
+                start_ms=event.time_ms,
+                end_ms=event.time_ms + event.latency_ms,
+                kind="execute",
+                expert_id=event.expert_id,
+                detail=f"batch={event.batch_size}",
+            )
+        )
+
+    def timelines(self) -> Dict[str, ExecutorTimeline]:
+        """The timelines observed so far (callable mid-run)."""
+        return {
+            executor_name: ExecutorTimeline(
+                executor_name=executor_name,
+                intervals=tuple(
+                    sorted(intervals, key=lambda interval: (interval.start_ms, interval.end_ms))
+                ),
+            )
+            for executor_name, intervals in self._intervals.items()
+        }
 
 
 def build_timelines(metrics: MetricsCollector) -> Dict[str, ExecutorTimeline]:

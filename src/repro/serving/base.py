@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.coe.model import CoEModel
 from repro.coe.probability import UsageProfile, compute_usage_profile
 from repro.hardware.device import Device
 from repro.simulation.engine import ServingSimulation
 from repro.simulation.results import SimulationResult
+from repro.simulation.session import SimulationSession
 from repro.workload.generator import RequestStream
 
 #: The result type returned by :meth:`ServingSystem.serve`.
@@ -60,10 +61,29 @@ class ServingSystem(abc.ABC):
     def build_simulation(self) -> ServingSimulation:
         """Construct and initialise the simulation for one run."""
 
-    def serve(self, stream: RequestStream) -> ServingResult:
+    def session(
+        self,
+        stream: RequestStream,
+        observers: Sequence[object] = (),
+        collect_metrics: bool = True,
+    ) -> SimulationSession:
+        """Open a steppable session serving ``stream`` on a fresh deployment.
+
+        The session API (``step`` / ``run_until`` / ``events`` plus the
+        ``SimObserver`` hooks) is the primary way to drive the engine;
+        :meth:`serve` is the run-to-completion shim over it.
+        ``collect_metrics=False`` drops the built-in metrics observer
+        (for callers replacing the collector wholesale).
+        """
+        return self.build_simulation().session(
+            stream, observers=observers, collect_metrics=collect_metrics
+        )
+
+    def serve(
+        self, stream: RequestStream, observers: Sequence[object] = ()
+    ) -> ServingResult:
         """Serve a request stream to completion and return the result."""
-        simulation = self.build_simulation()
-        return simulation.run(stream)
+        return self.session(stream, observers=observers).run()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r}, device={self.device.name!r})"

@@ -11,6 +11,14 @@ batch may be; an eviction policy decides which resident experts to
 evict when a new expert must be loaded.  The Samba-CoE baselines and
 CoServe differ *only* in the policies and configurations they plug into
 this engine, which is what makes the ablation studies meaningful.
+
+The primary serving API is the steppable :class:`SimulationSession`:
+``step()`` / ``run_until()`` / ``events()`` advance a configured
+:class:`ServingSimulation` through one request stream while typed
+:class:`SimEvent` hooks (:class:`SimObserver`) feed metric collection,
+timeline recording, SLO monitoring and custom scenarios.
+``ServingSimulation.run()`` remains as a compatibility shim that drives
+a session with the built-in metrics observer.
 """
 
 from repro.simulation.request import SimRequest, StageJob, StageRecord
@@ -22,7 +30,23 @@ from repro.simulation.resources import SerialResource
 from repro.simulation.executor import Executor, ExecutorConfig
 from repro.simulation.interfaces import SchedulingPolicy
 from repro.simulation.results import ExecutorSummary, SimulationResult
-from repro.simulation.engine import ServingSimulation, SimulationError, SimulationOptions
+from repro.simulation.session import (
+    BatchStart,
+    ExpertEvict,
+    ExpertLoad,
+    JobDispatch,
+    RequestArrival,
+    RequestCompletion,
+    SimEvent,
+    SimObserver,
+    SimulationAborted,
+    SimulationError,
+    SimulationFinish,
+    SimulationSession,
+    TierMigration,
+)
+from repro.simulation.slo import SLOMonitor
+from repro.simulation.engine import ServingSimulation, SimulationOptions
 
 __all__ = [
     "SimRequest",
@@ -38,7 +62,20 @@ __all__ = [
     "SchedulingPolicy",
     "ExecutorSummary",
     "SimulationResult",
+    "SimulationSession",
+    "SimObserver",
+    "SimEvent",
+    "RequestArrival",
+    "JobDispatch",
+    "BatchStart",
+    "ExpertLoad",
+    "ExpertEvict",
+    "TierMigration",
+    "RequestCompletion",
+    "SimulationFinish",
+    "SLOMonitor",
     "ServingSimulation",
     "SimulationError",
+    "SimulationAborted",
     "SimulationOptions",
 ]

@@ -1,6 +1,15 @@
-"""The discrete-event serving simulation engine.
+"""The configured serving deployment behind the simulation sessions.
 
-The engine advances virtual time through three kinds of events:
+:class:`ServingSimulation` assembles a deployment — executors with
+shared model pools, a host cache, serial compute/IO resources, the
+scheduling and eviction policies — and validates it against the
+device's memory budgets.  Advancing virtual time is the job of
+:class:`~repro.simulation.session.SimulationSession`, the engine's
+primary API: a steppable event loop with typed
+:class:`~repro.simulation.session.SimEvent` hooks
+(:class:`~repro.simulation.session.SimObserver`) that metric
+collection, timeline recording, SLO monitors and custom scenarios plug
+into.  The discrete-event semantics live there:
 
 * **job arrival** — a stage job enters the system (either because a
   workload request arrived, or because an earlier pipeline stage of a
@@ -23,12 +32,18 @@ All decisions are delegated to the scheduling policy (assignment,
 arrangement, batch-size limit) and the eviction policy (victim order),
 so Samba-CoE, its variants and CoServe all run on this single engine.
 
+:meth:`ServingSimulation.run` survives as a documented compatibility
+shim: it drives a session with the built-in metrics observer attached
+and returns the assembled result, bit-identical to the pre-session
+monolithic loop (equivalence is enforced against
+:mod:`repro.simulation.reference`).
+
 Hot-path data structures
 ------------------------
 
 Every figure/table reproduction replays thousands of stage jobs through
-this loop, so the engine is organised around constant-time lookups
-rather than scans:
+the session loop, so the engine is organised around constant-time
+lookups rather than scans:
 
 * **Run-structured queues** — each executor's
   :class:`~repro.simulation.queueing.RequestQueue` stores a deque of
@@ -45,36 +60,34 @@ rather than scans:
 * **O(E) request assigning** — CoServe's scheduler picks the queue
   minimising total inference time with a single top-2 finish-time pass
   over executors instead of the O(E²) per-job max-over-others loop.
-
-All three are pure data-structure changes: simulated results are
-bit-identical to the scan-based engine (see
-:mod:`repro.simulation.reference` and the equivalence tests).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.coe.model import CoEModel
 from repro.hardware.device import Device
 from repro.hardware.memory import MemoryTier
 from repro.hardware.processor import ProcessorKind
 from repro.metrics.collector import MetricsCollector
-from repro.policies.base import EvictionContext, EvictionPolicy
+from repro.policies.base import EvictionPolicy
 from repro.simulation.executor import Executor, ExecutorConfig
 from repro.simulation.host_cache import HostCache
 from repro.simulation.interfaces import SchedulingPolicy
-from repro.simulation.request import SimRequest, StageJob, StageRecord
+from repro.simulation.request import SimRequest
 from repro.simulation.residency import ResidencyIndex
 from repro.simulation.resources import SerialResource
 from repro.simulation.results import ExecutorSummary, SimulationResult
+from repro.simulation.session import SimulationError, SimulationSession
 from repro.workload.generator import RequestStream
 
-
-class SimulationError(RuntimeError):
-    """Raised when a run cannot proceed (e.g. an expert cannot fit)."""
+__all__ = [
+    "ServingSimulation",
+    "SimulationError",
+    "SimulationOptions",
+]
 
 
 @dataclass(frozen=True)
@@ -101,14 +114,6 @@ class SimulationOptions:
     #: share the same physical memory).  Disable to give every executor
     #: a private pool.
     share_pool_per_processor: bool = True
-
-
-#: Event kinds, ordered so that finishes at time t are handled before
-#: arrivals at the same instant (freeing executors first is both
-#: realistic and deterministic).
-_EVENT_FINISH = 0
-_EVENT_JOB = 1
-_EVENT_DISPATCH = 2
 
 
 class ServingSimulation:
@@ -172,6 +177,8 @@ class ServingSimulation:
 
         self.metrics = MetricsCollector(keep_events=self.options.keep_metric_events)
         self._preload_plan: Dict[str, Tuple[str, ...]] = {}
+        #: The session currently driving this deployment (one per build).
+        self._session: Optional[SimulationSession] = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -239,6 +246,9 @@ class ServingSimulation:
         loading stops silently for experts that no longer fit (the paper
         fills pools "until the memory is fully utilized").  Preloads are
         free in virtual time and, by default, do not count as switches.
+        Initialisation happens before any session exists, so preloads
+        feed the metrics collector directly and are never seen by
+        session observers.
         """
         for executor_name, expert_ids in plan.items():
             executor = self.executor(executor_name)
@@ -277,124 +287,36 @@ class ServingSimulation:
             self.host_cache.put(expert_id, expert.weight_bytes)
 
     # ------------------------------------------------------------------
-    # Event loop
+    # Serving
     # ------------------------------------------------------------------
-    def run(self, stream: RequestStream) -> SimulationResult:
-        """Serve a request stream to completion and return the result."""
-        self.scheduling_policy.attach(self)
-
-        requests = [SimRequest(spec) for spec in stream]
-        events: List[Tuple[float, int, int, object]] = []
-        sequence = 0
-        for request in requests:
-            job = StageJob(
-                request=request,
-                stage_index=0,
-                expert_id=request.pipeline[0],
-                enqueue_ms=request.arrival_ms,
-            )
-            heapq.heappush(events, (request.arrival_ms, _EVENT_JOB, sequence, job))
-            sequence += 1
-
-        last_completion_ms = 0.0
-        while events:
-            now, kind, _, payload = heapq.heappop(events)
-            if kind == _EVENT_JOB:
-                sequence = self._handle_job(payload, now, events, sequence)
-            elif kind == _EVENT_DISPATCH:
-                sequence = self._dispatch(payload, now, events, sequence)
-            elif kind == _EVENT_FINISH:
-                executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
-                sequence = self._handle_finish(
-                    executor, batch, dispatch_ms, start_ms, end_ms, switch_wait, events, sequence
-                )
-                last_completion_ms = max(last_completion_ms, end_ms)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind}")
-
-        incomplete = [request for request in requests if not request.is_completed]
-        if incomplete:
-            raise SimulationError(
-                f"{len(incomplete)} requests did not complete "
-                f"(first: {incomplete[0].request_id})"
-            )
-
-        return self._build_result(stream, requests, last_completion_ms)
-
-    # ------------------------------------------------------------------
-    # Event handlers
-    # ------------------------------------------------------------------
-    def _handle_job(
+    def session(
         self,
-        job: StageJob,
-        now: float,
-        events: List[Tuple[float, int, int, object]],
-        sequence: int,
-    ) -> int:
-        """Schedule a newly arrived stage job onto an executor queue."""
-        scheduling_latency = self.scheduling_policy.scheduling_latency_ms(job, now)
-        self.metrics.record_scheduling(scheduling_latency)
+        stream: RequestStream,
+        observers: Sequence[object] = (),
+        collect_metrics: bool = True,
+    ) -> SimulationSession:
+        """Open a steppable session over this deployment.
 
-        executor = self.scheduling_policy.select_executor(job, self._executors, now)
-        job.predicted_latency_ms = self.scheduling_policy.predicted_additional_latency_ms(
-            executor, job, now
-        )
-        self.scheduling_policy.enqueue(executor, job, now)
-
-        if executor.idle:
-            executor.idle = False
-            heapq.heappush(events, (now, _EVENT_DISPATCH, sequence, executor))
-            sequence += 1
-        return sequence
-
-    def _dispatch(
-        self,
-        executor: Executor,
-        now: float,
-        events: List[Tuple[float, int, int, object]],
-        sequence: int,
-    ) -> int:
-        """Form and start the next batch on an executor."""
-        if executor.queue.is_empty:
-            executor.idle = True
-            executor.current_expert_id = None
-            return sequence
-
-        head_expert_id = executor.queue.head_expert_id()
-        max_batch = max(1, self.scheduling_policy.max_batch_size(executor, head_expert_id))
-        batch = executor.queue.pop_head_run(max_batch)
-        expert = self.model.expert(batch[0].expert_id)
-        executor.current_expert_id = expert.expert_id
-
-        ready_ms = now
-        switch_wait = 0.0
-        if not executor.pool.contains(expert.expert_id):
-            ready_ms = self._load_expert(executor, expert, now)
-            switch_wait = ready_ms - now
-
-        execution_latency = self.device.execution_latency_ms(
-            expert.architecture_name, executor.kind, len(batch)
-        )
-        compute = self._compute_resources[executor.kind]
-        start_ms, end_ms = compute.acquire(ready_ms, execution_latency)
-
-        executor.busy_until_ms = end_ms
-        executor.idle = False
-        self.eviction_policy.record_access(executor.pool.name, expert.expert_id, start_ms)
-        executor.stats.batches_executed += 1
-        executor.stats.stages_executed += len(batch)
-        executor.stats.execution_busy_ms += execution_latency
-        self.metrics.record_execution(
-            time_ms=start_ms,
-            executor_name=executor.name,
-            expert_id=expert.expert_id,
-            batch_size=len(batch),
-            latency_ms=execution_latency,
+        A simulation backs at most one session (pools, stats and serial
+        resources are mutated by the run); build a fresh simulation per
+        session.  ``collect_metrics=False`` drops the built-in metrics
+        observer — for callers that replace the collector wholesale
+        (e.g. supplying their own ``MetricsObserver(self.metrics)``).
+        """
+        return SimulationSession(
+            self, stream, observers=observers, collect_metrics=collect_metrics
         )
 
-        payload = (executor, batch, now, start_ms, end_ms, switch_wait)
-        heapq.heappush(events, (end_ms, _EVENT_FINISH, sequence, payload))
-        return sequence + 1
+    def run(
+        self, stream: RequestStream, observers: Sequence[object] = ()
+    ) -> SimulationResult:
+        """Serve a request stream to completion and return the result.
+
+        Compatibility shim over the session API — exactly equivalent to
+        ``self.session(stream, observers).run()``, with the built-in
+        metrics observer feeding ``self.metrics``.
+        """
+        return self.session(stream, observers=observers).run()
 
     def _locate_source_tier(self, executor: Executor, expert_id: str) -> MemoryTier:
         """Find the fastest tier the expert can currently be loaded from.
@@ -410,106 +332,6 @@ class ServingSimulation:
             return MemoryTier.CPU
         tier = self.residency.best_source_tier(expert_id, exclude_pool=executor.pool)
         return tier if tier is not None else MemoryTier.SSD
-
-    def _load_expert(self, executor: Executor, expert, now: float) -> float:
-        """Evict as needed, load the expert, and return the ready time."""
-        pool = executor.pool
-        needed = expert.weight_bytes
-        evicted_any = False
-
-        if not pool.can_fit(needed):
-            protected = {
-                other.current_expert_id
-                for other in self._executors
-                if other is not executor and other.pool is pool and other.current_expert_id
-            }
-            context = EvictionContext(
-                pool_name=pool.name,
-                resident_expert_ids=pool.resident_expert_ids(),
-                incoming_expert_id=expert.expert_id,
-                protected_expert_ids=frozenset(protected),
-                queued_expert_ids=executor.queue.queued_expert_view(),
-                now_ms=now,
-                bytes_to_free=needed - pool.free_bytes,
-                resident_bytes=pool.resident_sizes(),
-            )
-            for victim in self.eviction_policy.victim_order(context):
-                if pool.can_fit(needed):
-                    break
-                freed = pool.evict(victim)
-                self.eviction_policy.record_eviction(pool.name, victim, now)
-                evicted_any = True
-                if self.host_cache is not None and executor.kind is ProcessorKind.GPU:
-                    self.host_cache.put(victim, freed)
-            if not pool.can_fit(needed):
-                raise SimulationError(
-                    f"executor '{executor.name}' cannot free enough memory for expert "
-                    f"'{expert.expert_id}' ({needed} bytes, {pool.free_bytes} free)"
-                )
-
-        source_tier = self._locate_source_tier(executor, expert.expert_id)
-
-        load_latency = self.device.expert_load_latency_ms(
-            expert.weight_bytes, expert.architecture_name, source_tier, executor.kind
-        )
-        io_resource = self._io_resources.get(source_tier, self._io_resources[MemoryTier.SSD])
-        _, ready_ms = io_resource.acquire(now, load_latency)
-
-        pool.load(expert.expert_id, expert.weight_bytes)
-        self.eviction_policy.record_load(pool.name, expert.expert_id, ready_ms)
-
-        executor.stats.expert_loads += 1
-        executor.stats.load_busy_ms += load_latency
-        if evicted_any:
-            executor.stats.expert_switches += 1
-        if source_tier is MemoryTier.SSD:
-            executor.stats.loads_from_ssd += 1
-        else:
-            executor.stats.loads_from_cache += 1
-        self.metrics.record_load(
-            time_ms=now,
-            executor_name=executor.name,
-            expert_id=expert.expert_id,
-            source_tier=source_tier.value,
-            latency_ms=ready_ms - now,
-            evicted=evicted_any,
-        )
-        return ready_ms
-
-    def _handle_finish(
-        self,
-        executor: Executor,
-        batch: Sequence[StageJob],
-        dispatch_ms: float,
-        start_ms: float,
-        end_ms: float,
-        switch_wait: float,
-        events: List[Tuple[float, int, int, object]],
-        sequence: int,
-    ) -> int:
-        """Record batch completion, spawn subsequent stages, keep dispatching."""
-        for job in batch:
-            record = StageRecord(
-                stage_index=job.stage_index,
-                expert_id=job.expert_id,
-                executor_name=executor.name,
-                enqueue_ms=job.enqueue_ms,
-                start_ms=dispatch_ms,
-                end_ms=end_ms,
-                batch_size=len(batch),
-                switch_wait_ms=switch_wait,
-            )
-            job.request.record_stage(record)
-            if job.request.has_remaining_stages():
-                next_job = StageJob(
-                    request=job.request,
-                    stage_index=job.request.next_stage,
-                    expert_id=job.request.current_expert_id(),
-                    enqueue_ms=end_ms,
-                )
-                heapq.heappush(events, (end_ms, _EVENT_JOB, sequence, next_job))
-                sequence += 1
-        return self._dispatch(executor, end_ms, events, sequence)
 
     # ------------------------------------------------------------------
     # Result assembly

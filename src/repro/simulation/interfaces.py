@@ -4,6 +4,9 @@ The engine knows how to advance virtual time; *what* to run where is
 decided by a :class:`SchedulingPolicy` (request assigning, arranging
 and batch splitting) together with an
 :class:`~repro.policies.base.EvictionPolicy` (expert replacement).
+Policies steer the engine's decisions; passive instrumentation attaches
+through the :class:`~repro.simulation.session.SimObserver` hook surface
+(re-exported here), which completes the engine's plugin interface.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.simulation.executor import Executor
 from repro.simulation.request import StageJob
+from repro.simulation.session import SimObserver  # noqa: F401  (re-export)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.engine import ServingSimulation

@@ -18,19 +18,32 @@ the O(E²) assignment loop — so that
 ``run``) into its reference counterpart by swapping the queues and
 rebinding the scan-based methods; everything else — devices, pools,
 preloads, policies, metrics — is shared code.
+
+The session redesign added a second preserved baseline:
+:func:`preredesign_run` is the monolithic pre-session event loop with
+metric collection inlined (the engine exactly as it stood before
+observers existed).  The observer-overhead benchmark drives it against
+the session path to bound the cost of the hook surface, and the
+equivalence tests assert both paths simulate bit-identical results.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from types import MethodType
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import CoServeScheduler
 from repro.hardware.memory import MemoryTier
-from repro.simulation.engine import ServingSimulation
+from repro.hardware.processor import ProcessorKind
+from repro.policies.base import EvictionContext
+from repro.simulation.engine import ServingSimulation, SimulationError
 from repro.simulation.executor import Executor
-from repro.simulation.request import StageJob
+from repro.simulation.request import SimRequest, StageJob, StageRecord
+from repro.simulation.results import SimulationResult
+from repro.simulation.session import _EVENT_DISPATCH, _EVENT_FINISH, _EVENT_JOB
+from repro.workload.generator import RequestStream
 
 
 class ReferenceRequestQueue:
@@ -206,3 +219,217 @@ def referencify(simulation: ServingSimulation) -> ServingSimulation:
             _reference_expert_location_tier, policy._predictor
         )
     return simulation
+
+
+# ----------------------------------------------------------------------
+# The pre-session monolithic event loop (observer-overhead baseline)
+# ----------------------------------------------------------------------
+def _preredesign_handle_job(simulation, job, now, events, sequence):
+    """The original ``ServingSimulation._handle_job`` (inline metrics)."""
+    policy = simulation.scheduling_policy
+    scheduling_latency = policy.scheduling_latency_ms(job, now)
+    simulation.metrics.record_scheduling(scheduling_latency)
+
+    executor = policy.select_executor(job, simulation._executors, now)
+    job.predicted_latency_ms = policy.predicted_additional_latency_ms(executor, job, now)
+    policy.enqueue(executor, job, now)
+
+    if executor.idle:
+        executor.idle = False
+        heapq.heappush(events, (now, _EVENT_DISPATCH, sequence, executor))
+        sequence += 1
+    return sequence
+
+
+def _preredesign_dispatch(simulation, executor, now, events, sequence):
+    """The original ``ServingSimulation._dispatch`` (inline metrics)."""
+    if executor.queue.is_empty:
+        executor.idle = True
+        executor.current_expert_id = None
+        return sequence
+
+    head_expert_id = executor.queue.head_expert_id()
+    max_batch = max(1, simulation.scheduling_policy.max_batch_size(executor, head_expert_id))
+    batch = executor.queue.pop_head_run(max_batch)
+    expert = simulation.model.expert(batch[0].expert_id)
+    executor.current_expert_id = expert.expert_id
+
+    ready_ms = now
+    switch_wait = 0.0
+    if not executor.pool.contains(expert.expert_id):
+        ready_ms = _preredesign_load_expert(simulation, executor, expert, now)
+        switch_wait = ready_ms - now
+
+    execution_latency = simulation.device.execution_latency_ms(
+        expert.architecture_name, executor.kind, len(batch)
+    )
+    compute = simulation._compute_resources[executor.kind]
+    start_ms, end_ms = compute.acquire(ready_ms, execution_latency)
+
+    executor.busy_until_ms = end_ms
+    executor.idle = False
+    simulation.eviction_policy.record_access(executor.pool.name, expert.expert_id, start_ms)
+    executor.stats.batches_executed += 1
+    executor.stats.stages_executed += len(batch)
+    executor.stats.execution_busy_ms += execution_latency
+    simulation.metrics.record_execution(
+        time_ms=start_ms,
+        executor_name=executor.name,
+        expert_id=expert.expert_id,
+        batch_size=len(batch),
+        latency_ms=execution_latency,
+    )
+
+    payload = (executor, batch, now, start_ms, end_ms, switch_wait)
+    heapq.heappush(events, (end_ms, _EVENT_FINISH, sequence, payload))
+    return sequence + 1
+
+
+def _preredesign_load_expert(simulation, executor, expert, now):
+    """The original ``ServingSimulation._load_expert`` (inline metrics)."""
+    pool = executor.pool
+    needed = expert.weight_bytes
+    evicted_any = False
+
+    if not pool.can_fit(needed):
+        protected = {
+            other.current_expert_id
+            for other in simulation._executors
+            if other is not executor and other.pool is pool and other.current_expert_id
+        }
+        context = EvictionContext(
+            pool_name=pool.name,
+            resident_expert_ids=pool.resident_expert_ids(),
+            incoming_expert_id=expert.expert_id,
+            protected_expert_ids=frozenset(protected),
+            queued_expert_ids=executor.queue.queued_expert_view(),
+            now_ms=now,
+            bytes_to_free=needed - pool.free_bytes,
+            resident_bytes=pool.resident_sizes(),
+        )
+        for victim in simulation.eviction_policy.victim_order(context):
+            if pool.can_fit(needed):
+                break
+            freed = pool.evict(victim)
+            simulation.eviction_policy.record_eviction(pool.name, victim, now)
+            evicted_any = True
+            if simulation.host_cache is not None and executor.kind is ProcessorKind.GPU:
+                simulation.host_cache.put(victim, freed)
+        if not pool.can_fit(needed):
+            raise SimulationError(
+                f"executor '{executor.name}' cannot free enough memory for expert "
+                f"'{expert.expert_id}' ({needed} bytes, {pool.free_bytes} free)"
+            )
+
+    source_tier = simulation._locate_source_tier(executor, expert.expert_id)
+
+    load_latency = simulation.device.expert_load_latency_ms(
+        expert.weight_bytes, expert.architecture_name, source_tier, executor.kind
+    )
+    io_resource = simulation._io_resources.get(
+        source_tier, simulation._io_resources[MemoryTier.SSD]
+    )
+    _, ready_ms = io_resource.acquire(now, load_latency)
+
+    pool.load(expert.expert_id, expert.weight_bytes)
+    simulation.eviction_policy.record_load(pool.name, expert.expert_id, ready_ms)
+
+    executor.stats.expert_loads += 1
+    executor.stats.load_busy_ms += load_latency
+    if evicted_any:
+        executor.stats.expert_switches += 1
+    if source_tier is MemoryTier.SSD:
+        executor.stats.loads_from_ssd += 1
+    else:
+        executor.stats.loads_from_cache += 1
+    simulation.metrics.record_load(
+        time_ms=now,
+        executor_name=executor.name,
+        expert_id=expert.expert_id,
+        source_tier=source_tier.value,
+        latency_ms=ready_ms - now,
+        evicted=evicted_any,
+    )
+    return ready_ms
+
+
+def _preredesign_handle_finish(
+    simulation, executor, batch, dispatch_ms, start_ms, end_ms, switch_wait, events, sequence
+):
+    """The original ``ServingSimulation._handle_finish``."""
+    for job in batch:
+        record = StageRecord(
+            stage_index=job.stage_index,
+            expert_id=job.expert_id,
+            executor_name=executor.name,
+            enqueue_ms=job.enqueue_ms,
+            start_ms=dispatch_ms,
+            end_ms=end_ms,
+            batch_size=len(batch),
+            switch_wait_ms=switch_wait,
+        )
+        job.request.record_stage(record)
+        if job.request.has_remaining_stages():
+            next_job = StageJob(
+                request=job.request,
+                stage_index=job.request.next_stage,
+                expert_id=job.request.current_expert_id(),
+                enqueue_ms=end_ms,
+            )
+            heapq.heappush(events, (end_ms, _EVENT_JOB, sequence, next_job))
+            sequence += 1
+    return _preredesign_dispatch(simulation, executor, end_ms, events, sequence)
+
+
+def preredesign_run(simulation: ServingSimulation, stream: RequestStream) -> SimulationResult:
+    """Serve a stream with the pre-session monolithic loop.
+
+    This is ``ServingSimulation.run()`` exactly as it stood before the
+    session/observer redesign: one closed loop with metric collection
+    inlined.  It mutates the simulation the same way a session would, so
+    — like :func:`referencify` — it must be given a freshly built
+    simulation.  Kept so the observer-overhead benchmark can measure the
+    session's hook surface against the original hard-wired loop.
+    """
+    if getattr(simulation, "_session", None) is not None:
+        raise ValueError("preredesign_run requires a fresh simulation (no session attached)")
+    simulation.scheduling_policy.attach(simulation)
+
+    requests = [SimRequest(spec) for spec in stream]
+    events: List[Tuple[float, int, int, object]] = []
+    sequence = 0
+    for request in requests:
+        job = StageJob(
+            request=request,
+            stage_index=0,
+            expert_id=request.pipeline[0],
+            enqueue_ms=request.arrival_ms,
+        )
+        heapq.heappush(events, (request.arrival_ms, _EVENT_JOB, sequence, job))
+        sequence += 1
+
+    last_completion_ms = 0.0
+    while events:
+        now, kind, _, payload = heapq.heappop(events)
+        if kind == _EVENT_JOB:
+            sequence = _preredesign_handle_job(simulation, payload, now, events, sequence)
+        elif kind == _EVENT_DISPATCH:
+            sequence = _preredesign_dispatch(simulation, payload, now, events, sequence)
+        elif kind == _EVENT_FINISH:
+            executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
+            sequence = _preredesign_handle_finish(
+                simulation, executor, batch, dispatch_ms, start_ms, end_ms, switch_wait,
+                events, sequence,
+            )
+            last_completion_ms = max(last_completion_ms, end_ms)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind}")
+
+    incomplete = [request for request in requests if not request.is_completed]
+    if incomplete:
+        raise SimulationError(
+            f"{len(incomplete)} requests did not complete "
+            f"(first: {incomplete[0].request_id})"
+        )
+
+    return simulation._build_result(stream, requests, last_completion_ms)

@@ -1,0 +1,745 @@
+"""Steppable simulation sessions: the engine's primary API.
+
+A :class:`SimulationSession` owns the discrete-event loop that
+:class:`~repro.simulation.engine.ServingSimulation` used to hide inside
+its monolithic ``run()``.  Instead of a single run-to-completion call,
+a session exposes
+
+* :meth:`~SimulationSession.step` — process exactly one engine event,
+* :meth:`~SimulationSession.run_until` — advance virtual time to a
+  deadline,
+* :meth:`~SimulationSession.events` — an iterator of typed
+  :class:`SimEvent` objects as they happen, and
+* :meth:`~SimulationSession.run` — drain to completion and return the
+  :class:`~repro.simulation.results.SimulationResult` (what the legacy
+  ``ServingSimulation.run()`` shim delegates to).
+
+Everything that used to be hard-wired into the loop — metric
+accumulation, timeline recording — now attaches through the
+:class:`SimObserver` hook surface, so new scenarios (SLO monitors,
+progress reporters, live dashboards, early aborts) plug in without
+touching the core.  ``repro.metrics.MetricsObserver`` is the built-in
+observer behind the legacy shim; results are bit-identical to the
+pre-session engine (enforced against :mod:`repro.simulation.reference`).
+
+Observer dispatch is pay-for-what-you-use: the session keeps one
+callback list per hook and every emission site first checks that list
+for emptiness, so a hook nobody subscribed to costs a single truth test
+and never materialises an event object.  Hook methods inherited
+unchanged from :class:`SimObserver` are recognised as no-ops and are
+not subscribed at all.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hardware.memory import MemoryTier
+from repro.hardware.processor import ProcessorKind
+from repro.policies.base import EvictionContext
+from repro.simulation.request import SimRequest, StageJob, StageRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import ServingSimulation
+    from repro.simulation.executor import Executor
+    from repro.simulation.results import SimulationResult
+    from repro.workload.generator import RequestStream
+
+
+class SimulationError(RuntimeError):
+    """Raised when a run cannot proceed (e.g. an expert cannot fit)."""
+
+
+class SimulationAborted(SimulationError):
+    """Raised by :meth:`SimulationSession.run` when an observer aborted.
+
+    Carries where the simulation stopped so early-abort scenarios (an
+    :class:`~repro.simulation.slo.SLOMonitor` proving a latency target
+    unreachable) can report how far the cell got.
+    """
+
+    def __init__(self, reason: str, time_ms: float, completed_requests: int) -> None:
+        super().__init__(
+            f"simulation aborted at {time_ms:.3f} ms after "
+            f"{completed_requests} completed request(s): {reason}"
+        )
+        self.reason = reason
+        self.time_ms = time_ms
+        self.completed_requests = completed_requests
+
+
+# ----------------------------------------------------------------------
+# Typed events
+# ----------------------------------------------------------------------
+# Events are slotted (they are created on the engine's hot path) and
+# treated as immutable by convention; ``frozen=True`` would roughly
+# double construction cost for no behavioural gain.
+
+
+@dataclass(slots=True)
+class SimEvent:
+    """Base of every session event; ``time_ms`` is virtual time."""
+
+    time_ms: float
+
+
+@dataclass(slots=True)
+class RequestArrival(SimEvent):
+    """A workload request entered the system (its first stage job)."""
+
+    request: SimRequest
+
+
+@dataclass(slots=True)
+class JobDispatch(SimEvent):
+    """The scheduler placed one stage job on an executor's queue.
+
+    Fired for every pipeline stage (a request's later stages dispatch
+    when the preceding stage finishes); ``scheduling_latency_ms`` is the
+    CPU cost of the decision itself (Figure 19's metric).
+    """
+
+    job: StageJob
+    executor_name: str
+    scheduling_latency_ms: float
+
+
+@dataclass(slots=True)
+class BatchStart(SimEvent):
+    """An executor began executing a batch (``time_ms`` = start)."""
+
+    executor_name: str
+    expert_id: str
+    batch_size: int
+    latency_ms: float
+    end_ms: float
+    switch_wait_ms: float
+
+
+@dataclass(slots=True)
+class ExpertLoad(SimEvent):
+    """An expert was loaded into an executor's model pool.
+
+    ``latency_ms`` includes any wait for the (serial) source tier, so it
+    matches the switching time the metrics collector accounts.
+    """
+
+    executor_name: str
+    expert_id: str
+    source_tier: str
+    latency_ms: float
+    evicted: bool
+
+
+@dataclass(slots=True)
+class ExpertEvict(SimEvent):
+    """A resident expert was evicted to make room for ``incoming_expert_id``."""
+
+    executor_name: str
+    pool_name: str
+    expert_id: str
+    bytes_freed: int
+    incoming_expert_id: str
+
+
+@dataclass(slots=True)
+class TierMigration(SimEvent):
+    """An evicted expert migrated to a slower memory tier (GPU → host cache)."""
+
+    expert_id: str
+    weight_bytes: int
+    from_tier: str
+    to_tier: str
+
+
+@dataclass(slots=True)
+class RequestCompletion(SimEvent):
+    """A request finished its last pipeline stage."""
+
+    request: SimRequest
+
+
+@dataclass(slots=True)
+class SimulationFinish(SimEvent):
+    """The session finished (drained the stream, or was aborted)."""
+
+    completed_requests: int
+    aborted: bool
+    reason: Optional[str]
+
+
+class SimObserver:
+    """Typed hook surface of a :class:`SimulationSession`.
+
+    Subclass and override only the hooks you need — hooks left as the
+    base no-ops are never subscribed, so an observer pays only for what
+    it watches.  The protocol is structural: any object defining a
+    subset of these methods (no inheritance required) works, which is
+    how ``repro.metrics`` attaches without importing this module.
+    """
+
+    def on_attach(self, session: "SimulationSession") -> None:
+        """Called once when the observer is added to a session."""
+
+    def on_request_arrival(self, event: RequestArrival) -> None:
+        """A workload request entered the system."""
+
+    def on_job_dispatch(self, event: JobDispatch) -> None:
+        """A stage job was assigned to an executor queue."""
+
+    def on_batch_start(self, event: BatchStart) -> None:
+        """An executor started executing a batch."""
+
+    def on_expert_load(self, event: ExpertLoad) -> None:
+        """An expert was loaded into a model pool."""
+
+    def on_expert_evict(self, event: ExpertEvict) -> None:
+        """A resident expert was evicted from a model pool."""
+
+    def on_tier_migration(self, event: TierMigration) -> None:
+        """An expert moved to a slower memory tier (e.g. the host cache)."""
+
+    def on_request_completion(self, event: RequestCompletion) -> None:
+        """A request finished its last pipeline stage."""
+
+    def on_finish(self, event: SimulationFinish) -> None:
+        """The session drained its stream (or was aborted)."""
+
+
+#: Hook method name → session dispatch-list attribute.
+_HOOK_LISTS: Tuple[Tuple[str, str], ...] = (
+    ("on_request_arrival", "_on_request_arrival"),
+    ("on_job_dispatch", "_on_job_dispatch"),
+    ("on_batch_start", "_on_batch_start"),
+    ("on_expert_load", "_on_expert_load"),
+    ("on_expert_evict", "_on_expert_evict"),
+    ("on_tier_migration", "_on_tier_migration"),
+    ("on_request_completion", "_on_request_completion"),
+    ("on_finish", "_on_finish"),
+)
+
+
+class _EventRecorder:
+    """Internal observer that buffers every event for :meth:`events`."""
+
+    def __init__(self, buffer: List[SimEvent]) -> None:
+        self._buffer = buffer
+
+    def _record(self, event: SimEvent) -> None:
+        self._buffer.append(event)
+
+    on_request_arrival = _record
+    on_job_dispatch = _record
+    on_batch_start = _record
+    on_expert_load = _record
+    on_expert_evict = _record
+    on_tier_migration = _record
+    on_request_completion = _record
+    on_finish = _record
+
+
+#: Event kinds, ordered so that finishes at time t are handled before
+#: arrivals at the same instant (freeing executors first is both
+#: realistic and deterministic).
+_EVENT_FINISH = 0
+_EVENT_JOB = 1
+_EVENT_DISPATCH = 2
+
+
+class SimulationSession:
+    """A steppable serving run over one request stream.
+
+    Parameters
+    ----------
+    simulation:
+        A freshly built :class:`~repro.simulation.engine.ServingSimulation`.
+        A simulation can back at most one session (its pools, stats and
+        resources are mutated by the run); build a new simulation per
+        session, exactly as ``ServingSystem.serve`` always has.
+    stream:
+        The request stream to serve.
+    observers:
+        Observers subscribed before the first event.  More can be added
+        mid-run with :meth:`add_observer`.
+    collect_metrics:
+        Attach the built-in metrics observer feeding
+        ``simulation.metrics`` (default).  Without it the aggregate
+        metric totals of the result stay zero — disable only when a
+        custom observer replaces the collector wholesale.
+    """
+
+    def __init__(
+        self,
+        simulation: "ServingSimulation",
+        stream: "RequestStream",
+        observers: Sequence[object] = (),
+        collect_metrics: bool = True,
+    ) -> None:
+        if getattr(simulation, "_session", None) is not None:
+            raise SimulationError(
+                "simulation is already driven by a session; "
+                "build a fresh simulation for every run"
+            )
+        self.simulation = simulation
+        self.stream = stream
+        self.now_ms = 0.0
+        self.completed_requests = 0
+        self._finished = False
+        self._aborted = False
+        self._abort_reason: Optional[str] = None
+        self._result: Optional["SimulationResult"] = None
+
+        # Hot references, bound once.  Resolved *after* any method
+        # rebinding (e.g. reference.referencify) so the session drives
+        # whatever implementation the simulation currently carries.
+        self._policy = simulation.scheduling_policy
+        self._eviction = simulation.eviction_policy
+        self._model = simulation.model
+        self._device = simulation.device
+        self._executors = simulation._executors
+        self._host_cache = simulation.host_cache
+        self._compute_resources = simulation._compute_resources
+        self._io_resources = simulation._io_resources
+        self._options = simulation.options
+        self._locate_source_tier = simulation._locate_source_tier
+
+        # One callback list per hook; emission sites check emptiness
+        # before materialising an event.
+        self._on_request_arrival: List[Callable] = []
+        self._on_job_dispatch: List[Callable] = []
+        self._on_batch_start: List[Callable] = []
+        self._on_expert_load: List[Callable] = []
+        self._on_expert_evict: List[Callable] = []
+        self._on_tier_migration: List[Callable] = []
+        self._on_request_completion: List[Callable] = []
+        self._on_finish: List[Callable] = []
+        self._observers: List[object] = []
+
+        self._policy.attach(simulation)
+        self.requests: List[SimRequest] = [SimRequest(spec) for spec in stream]
+        self._events: List[Tuple[float, int, int, object]] = []
+        sequence = 0
+        for request in self.requests:
+            job = StageJob(
+                request=request,
+                stage_index=0,
+                expert_id=request.pipeline[0],
+                enqueue_ms=request.arrival_ms,
+            )
+            heapq.heappush(self._events, (request.arrival_ms, _EVENT_JOB, sequence, job))
+            sequence += 1
+        self._sequence = sequence
+        self._last_completion_ms = 0.0
+
+        # Subscribe observers last: at attach time they see a fully
+        # seeded session (stream length, pending events, time zero).
+        if collect_metrics:
+            from repro.metrics.collector import MetricsObserver
+
+            self.add_observer(MetricsObserver(simulation.metrics))
+        for observer in observers:
+            self.add_observer(observer)
+
+        # Claim the simulation only once construction can no longer
+        # fail, so a raising observer attach (or a bad stream) does not
+        # poison the simulation for a retry.
+        simulation._session = self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    @property
+    def abort_reason(self) -> Optional[str]:
+        return self._abort_reason
+
+    @property
+    def pending_events(self) -> int:
+        """Engine events still queued (arrivals, dispatches, finishes)."""
+        return len(self._events)
+
+    @property
+    def next_event_time_ms(self) -> Optional[float]:
+        """Virtual time of the next engine event, or None when drained."""
+        return self._events[0][0] if self._events else None
+
+    @property
+    def observers(self) -> Tuple[object, ...]:
+        return tuple(self._observers)
+
+    @property
+    def result(self) -> "SimulationResult":
+        """The finished run's result (raises until the session finishes)."""
+        if self._result is None:
+            state = "was aborted" if self._aborted else "has not finished"
+            raise SimulationError(f"no result available: the session {state}")
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Observer management
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: object) -> None:
+        """Subscribe an observer's overridden hooks (any time before finish)."""
+        if self._finished:
+            raise SimulationError("cannot add observers to a finished session")
+        self._observers.append(observer)
+        cls = type(observer)
+        for hook_name, list_name in _HOOK_LISTS:
+            implementation = getattr(cls, hook_name, None)
+            if implementation is None or implementation is getattr(SimObserver, hook_name):
+                continue
+            getattr(self, list_name).append(getattr(observer, hook_name))
+        on_attach = getattr(cls, "on_attach", None)
+        if on_attach is not None and on_attach is not SimObserver.on_attach:
+            observer.on_attach(self)
+
+    def _remove_observer(self, observer: object) -> None:
+        """Unsubscribe an observer's hooks (internal; used by events())."""
+        if observer not in self._observers:
+            return
+        self._observers.remove(observer)
+        cls = type(observer)
+        for hook_name, list_name in _HOOK_LISTS:
+            implementation = getattr(cls, hook_name, None)
+            if implementation is None or implementation is getattr(SimObserver, hook_name):
+                continue
+            hooks = getattr(self, list_name)
+            bound = getattr(observer, hook_name)
+            if bound in hooks:
+                hooks.remove(bound)
+
+    def abort(self, reason: str) -> None:
+        """Request an early stop; the session finishes on the next step.
+
+        Called by observers (e.g. the SLO monitor) from inside a hook;
+        the event being processed completes normally, remaining queued
+        events are discarded, and :meth:`run` raises
+        :class:`SimulationAborted`.
+        """
+        if self._finished:
+            raise SimulationError("cannot abort a finished session")
+        if self._abort_reason is None:
+            self._abort_reason = str(reason)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process exactly one engine event.
+
+        Returns True while the simulation advanced; the call that finds
+        the event queue drained (or an abort requested) finalises the
+        session — emitting ``on_finish`` and building the result — and
+        returns False.
+        """
+        if self._finished:
+            return False
+        if self._abort_reason is not None or not self._events:
+            self._finalize()
+            return False
+        now, kind, _, payload = heapq.heappop(self._events)
+        self.now_ms = now
+        if kind == _EVENT_JOB:
+            self._handle_job(payload, now)
+        elif kind == _EVENT_DISPATCH:
+            self._dispatch(payload, now)
+        elif kind == _EVENT_FINISH:
+            executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
+            self._handle_finish(executor, batch, dispatch_ms, start_ms, end_ms, switch_wait)
+            if end_ms > self._last_completion_ms:
+                self._last_completion_ms = end_ms
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {kind}")
+        return True
+
+    def run_until(self, time_ms: float) -> int:
+        """Process every event up to and including virtual time ``time_ms``.
+
+        Returns the number of engine events processed.  If the stream
+        drains (or an observer aborts) before the deadline, the session
+        finalises exactly as :meth:`run` would.
+        """
+        count = 0
+        while (
+            self._events
+            and not self._finished
+            and self._abort_reason is None
+            and self._events[0][0] <= time_ms
+        ):
+            self.step()
+            count += 1
+        if not self._finished and (self._abort_reason is not None or not self._events):
+            self._finalize()
+        return count
+
+    def events(self) -> Iterator[SimEvent]:
+        """Iterate over typed events as the simulation advances.
+
+        Stepping and yielding interleave: each :meth:`step` call's
+        events are yielded before the next event is processed, ending
+        with the :class:`SimulationFinish` event.  Abandoning the
+        iterator leaves the session paused at the last yielded point;
+        its internal recorder unsubscribes when the generator is closed
+        (or collected), so later stepping pays no recording cost.
+        """
+        buffer: List[SimEvent] = []
+        recorder = _EventRecorder(buffer)
+        self.add_observer(recorder)
+        try:
+            while True:
+                advanced = self.step()
+                if buffer:
+                    for event in buffer:
+                        yield event
+                    buffer.clear()
+                if not advanced:
+                    return
+        finally:
+            self._remove_observer(recorder)
+
+    def run(self) -> "SimulationResult":
+        """Drain the session and return the result (the legacy contract)."""
+        while self.step():
+            pass
+        if self._aborted:
+            raise SimulationAborted(
+                self._abort_reason or "aborted", self.now_ms, self.completed_requests
+            )
+        return self.result
+
+    def _finalize(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._aborted = self._abort_reason is not None
+        if not self._aborted:
+            # Validate before telling observers the run finished: an
+            # engine/policy bug that stranded requests must not let an
+            # on_finish hook durably record a clean completion.
+            incomplete = [request for request in self.requests if not request.is_completed]
+            if incomplete:
+                raise SimulationError(
+                    f"{len(incomplete)} requests did not complete "
+                    f"(first: {incomplete[0].request_id})"
+                )
+        if self._on_finish:
+            event = SimulationFinish(
+                self._last_completion_ms,
+                self.completed_requests,
+                self._aborted,
+                self._abort_reason,
+            )
+            for hook in self._on_finish:
+                hook(event)
+        if self._aborted:
+            self._events.clear()
+            return
+        self._result = self.simulation._build_result(
+            self.stream, self.requests, self._last_completion_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers (the engine hot path)
+    # ------------------------------------------------------------------
+    def _handle_job(self, job: StageJob, now: float) -> None:
+        """Schedule a newly arrived stage job onto an executor queue."""
+        if self._on_request_arrival and job.stage_index == 0:
+            event = RequestArrival(now, job.request)
+            for hook in self._on_request_arrival:
+                hook(event)
+        policy = self._policy
+        scheduling_latency = policy.scheduling_latency_ms(job, now)
+        executor = policy.select_executor(job, self._executors, now)
+        job.predicted_latency_ms = policy.predicted_additional_latency_ms(executor, job, now)
+        policy.enqueue(executor, job, now)
+        if self._on_job_dispatch:
+            event = JobDispatch(now, job, executor.name, scheduling_latency)
+            for hook in self._on_job_dispatch:
+                hook(event)
+
+        if executor.idle:
+            executor.idle = False
+            heapq.heappush(self._events, (now, _EVENT_DISPATCH, self._sequence, executor))
+            self._sequence += 1
+
+    def _dispatch(self, executor: "Executor", now: float) -> None:
+        """Form and start the next batch on an executor."""
+        if executor.queue.is_empty:
+            executor.idle = True
+            executor.current_expert_id = None
+            return
+
+        head_expert_id = executor.queue.head_expert_id()
+        max_batch = max(1, self._policy.max_batch_size(executor, head_expert_id))
+        batch = executor.queue.pop_head_run(max_batch)
+        expert = self._model.expert(batch[0].expert_id)
+        executor.current_expert_id = expert.expert_id
+
+        ready_ms = now
+        switch_wait = 0.0
+        if not executor.pool.contains(expert.expert_id):
+            ready_ms = self._load_expert(executor, expert, now)
+            switch_wait = ready_ms - now
+
+        execution_latency = self._device.execution_latency_ms(
+            expert.architecture_name, executor.kind, len(batch)
+        )
+        compute = self._compute_resources[executor.kind]
+        start_ms, end_ms = compute.acquire(ready_ms, execution_latency)
+
+        executor.busy_until_ms = end_ms
+        executor.idle = False
+        self._eviction.record_access(executor.pool.name, expert.expert_id, start_ms)
+        stats = executor.stats
+        stats.batches_executed += 1
+        stats.stages_executed += len(batch)
+        stats.execution_busy_ms += execution_latency
+        if self._on_batch_start:
+            event = BatchStart(
+                start_ms,
+                executor.name,
+                expert.expert_id,
+                len(batch),
+                execution_latency,
+                end_ms,
+                switch_wait,
+            )
+            for hook in self._on_batch_start:
+                hook(event)
+
+        payload = (executor, batch, now, start_ms, end_ms, switch_wait)
+        heapq.heappush(self._events, (end_ms, _EVENT_FINISH, self._sequence, payload))
+        self._sequence += 1
+
+    def _load_expert(self, executor: "Executor", expert, now: float) -> float:
+        """Evict as needed, load the expert, and return the ready time."""
+        pool = executor.pool
+        needed = expert.weight_bytes
+        evicted_any = False
+
+        if not pool.can_fit(needed):
+            protected = {
+                other.current_expert_id
+                for other in self._executors
+                if other is not executor and other.pool is pool and other.current_expert_id
+            }
+            context = EvictionContext(
+                pool_name=pool.name,
+                resident_expert_ids=pool.resident_expert_ids(),
+                incoming_expert_id=expert.expert_id,
+                protected_expert_ids=frozenset(protected),
+                queued_expert_ids=executor.queue.queued_expert_view(),
+                now_ms=now,
+                bytes_to_free=needed - pool.free_bytes,
+                resident_bytes=pool.resident_sizes(),
+            )
+            for victim in self._eviction.victim_order(context):
+                if pool.can_fit(needed):
+                    break
+                freed = pool.evict(victim)
+                self._eviction.record_eviction(pool.name, victim, now)
+                evicted_any = True
+                if self._on_expert_evict:
+                    event = ExpertEvict(
+                        now, executor.name, pool.name, victim, freed, expert.expert_id
+                    )
+                    for hook in self._on_expert_evict:
+                        hook(event)
+                if self._host_cache is not None and executor.kind is ProcessorKind.GPU:
+                    migrated = self._host_cache.put(victim, freed)
+                    if migrated and self._on_tier_migration:
+                        event = TierMigration(
+                            now,
+                            victim,
+                            freed,
+                            self._device.memory_tier_for(executor.kind).value,
+                            MemoryTier.CPU.value,
+                        )
+                        for hook in self._on_tier_migration:
+                            hook(event)
+            if not pool.can_fit(needed):
+                raise SimulationError(
+                    f"executor '{executor.name}' cannot free enough memory for expert "
+                    f"'{expert.expert_id}' ({needed} bytes, {pool.free_bytes} free)"
+                )
+
+        source_tier = self._locate_source_tier(executor, expert.expert_id)
+
+        load_latency = self._device.expert_load_latency_ms(
+            expert.weight_bytes, expert.architecture_name, source_tier, executor.kind
+        )
+        io_resource = self._io_resources.get(source_tier, self._io_resources[MemoryTier.SSD])
+        _, ready_ms = io_resource.acquire(now, load_latency)
+
+        pool.load(expert.expert_id, expert.weight_bytes)
+        self._eviction.record_load(pool.name, expert.expert_id, ready_ms)
+
+        stats = executor.stats
+        stats.expert_loads += 1
+        stats.load_busy_ms += load_latency
+        if evicted_any:
+            stats.expert_switches += 1
+        if source_tier is MemoryTier.SSD:
+            stats.loads_from_ssd += 1
+        else:
+            stats.loads_from_cache += 1
+        if self._on_expert_load:
+            event = ExpertLoad(
+                now, executor.name, expert.expert_id, source_tier.value, ready_ms - now, evicted_any
+            )
+            for hook in self._on_expert_load:
+                hook(event)
+        return ready_ms
+
+    def _handle_finish(
+        self,
+        executor: "Executor",
+        batch: Sequence[StageJob],
+        dispatch_ms: float,
+        start_ms: float,
+        end_ms: float,
+        switch_wait: float,
+    ) -> None:
+        """Record batch completion, spawn subsequent stages, keep dispatching."""
+        batch_size = len(batch)
+        for job in batch:
+            record = StageRecord(
+                stage_index=job.stage_index,
+                expert_id=job.expert_id,
+                executor_name=executor.name,
+                enqueue_ms=job.enqueue_ms,
+                start_ms=dispatch_ms,
+                end_ms=end_ms,
+                batch_size=batch_size,
+                switch_wait_ms=switch_wait,
+            )
+            job.request.record_stage(record)
+            if job.request.has_remaining_stages():
+                next_job = StageJob(
+                    request=job.request,
+                    stage_index=job.request.next_stage,
+                    expert_id=job.request.current_expert_id(),
+                    enqueue_ms=end_ms,
+                )
+                heapq.heappush(self._events, (end_ms, _EVENT_JOB, self._sequence, next_job))
+                self._sequence += 1
+            else:
+                self.completed_requests += 1
+                if self._on_request_completion:
+                    event = RequestCompletion(end_ms, job.request)
+                    for hook in self._on_request_completion:
+                        hook(event)
+        self._dispatch(executor, end_ms)

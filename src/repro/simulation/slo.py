@@ -1,0 +1,109 @@
+"""Online SLO monitoring over the session observer API.
+
+An :class:`SLOMonitor` watches request completions and aborts the
+session as soon as a latency-percentile target is *provably* violated:
+once more than ``floor((1 - p) * N)`` of the stream's ``N`` requests
+have completed above the target, the p-th percentile over the full run
+exceeds the target no matter how fast every remaining request finishes.
+Stopping at that point turns a doomed sweep cell from a full simulation
+into an early exit — the "early-abort scenario" the session API exists
+to enable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.simulation.session import RequestCompletion, SimObserver, SimulationSession
+
+#: Latency metrics the monitor can target.
+_METRICS = ("end_to_end", "service")
+
+
+class SLOMonitor(SimObserver):
+    """Aborts a session once a latency percentile target is provably lost.
+
+    Parameters
+    ----------
+    target_ms:
+        The latency bound of the SLO.
+    percentile:
+        Which percentile must stay at or below ``target_ms`` (e.g. 99.0
+        for "p99 <= target").
+    metric:
+        ``"end_to_end"`` (arrival to completion, the default) or
+        ``"service"`` (time inside executors only).
+    total_requests:
+        Size of the request population the percentile is taken over.
+        Defaults to the session's stream length at attach time.
+    """
+
+    def __init__(
+        self,
+        target_ms: float,
+        percentile: float = 99.0,
+        metric: str = "end_to_end",
+        total_requests: Optional[int] = None,
+    ) -> None:
+        if target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if metric not in _METRICS:
+            raise ValueError(f"unknown metric '{metric}' (expected one of {_METRICS})")
+        if total_requests is not None and total_requests <= 0:
+            raise ValueError("total_requests must be positive")
+        self.target_ms = target_ms
+        self.percentile = percentile
+        self.metric = metric
+        self.total_requests = total_requests
+        self._explicit_total = total_requests is not None
+        self.violations = 0
+        self.observed = 0
+        self.triggered = False
+        self._session: Optional[SimulationSession] = None
+
+    @property
+    def allowed_violations(self) -> int:
+        """Largest violation count still compatible with meeting the SLO."""
+        if self.total_requests is None:
+            raise RuntimeError("monitor is not attached and total_requests was not given")
+        # floor((1 - p/100) * N), with an epsilon so exact products
+        # (e.g. 1% of 200) do not round down spuriously.
+        return math.floor((100.0 - self.percentile) / 100.0 * self.total_requests + 1e-9)
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks
+    # ------------------------------------------------------------------
+    def on_attach(self, session: SimulationSession) -> None:
+        # A monitor may be reused across sessions: counters are
+        # per-session state and an inferred population must track the
+        # new stream's size (an explicitly given one is kept).
+        self._session = session
+        self.violations = 0
+        self.observed = 0
+        self.triggered = False
+        if not self._explicit_total:
+            self.total_requests = session.total_requests
+
+    def on_request_completion(self, event: RequestCompletion) -> None:
+        request = event.request
+        if self.metric == "end_to_end":
+            latency = request.end_to_end_latency_ms
+        else:
+            latency = request.total_service_ms
+        self.observed += 1
+        if latency is None or latency <= self.target_ms:
+            return
+        self.violations += 1
+        if self.triggered or self.violations <= self.allowed_violations:
+            return
+        self.triggered = True
+        if self._session is not None:
+            self._session.abort(
+                f"p{self.percentile:g} {self.metric} latency SLO of "
+                f"{self.target_ms:g} ms provably violated: {self.violations} of "
+                f"{self.total_requests} requests exceeded it "
+                f"(at most {self.allowed_violations} allowed)"
+            )

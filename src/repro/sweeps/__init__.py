@@ -6,20 +6,28 @@ data:
 
 - :class:`SweepCell` / :class:`SweepGrid` declare *what* to simulate;
 - :class:`SweepRunner` executes a grid serially or across a process
-  pool, caching expensive per-(device, task) artefacts per worker;
+  pool, caching expensive per-(device, task) artefacts per worker, and
+  streams ``(cell, result)`` pairs through ``run_iter`` as they
+  complete;
 - :class:`SweepResults` stores outcomes keyed by cell so every figure
-  assembles its rows from one shared, deduplicated execution.
+  assembles its rows from one shared, deduplicated execution;
+- :class:`SweepCache` persists executed cells on disk, keyed by cell
+  identity plus a settings fingerprint, so repeated regenerations skip
+  already-simulated cells across processes and invocations.
 """
 
 from repro.sweeps.spec import SweepCell, SweepGrid
+from repro.sweeps.cache import SweepCache, settings_fingerprint
 from repro.sweeps.results import SweepResults
 from repro.sweeps.runner import SweepRunner, ensure_results, execute_cell
 
 __all__ = [
     "SweepCell",
     "SweepGrid",
+    "SweepCache",
     "SweepResults",
     "SweepRunner",
     "ensure_results",
     "execute_cell",
+    "settings_fingerprint",
 ]

@@ -1,0 +1,132 @@
+"""On-disk cache of executed sweep cells.
+
+Regenerating the paper's figures runs the same (system, device, task,
+overrides) cells over and over — across CLI invocations, across
+processes, across figure subsets.  A :class:`SweepCache` persists each
+cell's :class:`~repro.simulation.results.SimulationResult` under a key
+derived from the cell identity *and* a fingerprint of the evaluation
+settings, so a repeated regeneration skips every already-simulated cell
+while a change to any knob that affects results (request counts, seed,
+full-scale mode, …) transparently misses.
+
+Layout: one pickle per cell, named ``<sha256>.pkl`` inside the cache
+directory.  Writes go through a temporary file and ``os.replace`` so
+concurrent regenerations on the same directory never observe a torn
+entry; payloads carry the cell key and fingerprint and are verified on
+load, so a corrupt or foreign file degrades to a miss, never a wrong
+result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from typing import TYPE_CHECKING, Optional
+
+from repro.sweeps.spec import SweepCell
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import EvaluationSettings
+    from repro.simulation.results import SimulationResult
+
+#: Bump when the cached payload layout (or anything influencing results
+#: that is not captured by the settings fingerprint) changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Settings fields that only *select* which cells a grid contains; a
+#: cell's simulated result depends on its own (system, device, task,
+#: overrides) coordinates, so these must not invalidate cached cells
+#: (running ``--tasks A1`` then ``--tasks A1 A2`` reuses every A1 cell).
+#: Any field not listed here is treated as result-affecting, so new
+#: settings knobs default to the safe direction (invalidation).
+_SELECTION_ONLY_FIELDS = frozenset({"devices", "task_names"})
+
+
+def settings_fingerprint(settings: "EvaluationSettings") -> str:
+    """A stable digest of everything the settings contribute to results."""
+    fields = {
+        name: value
+        for name, value in dataclasses.asdict(settings).items()
+        if name not in _SELECTION_ONLY_FIELDS
+    }
+    payload = {"format": CACHE_FORMAT_VERSION, "settings": fields}
+    encoded = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+class SweepCache:
+    """A directory of sweep-cell results keyed by identity + settings.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live; created if missing.
+    settings:
+        The evaluation settings of the sweep.  Cells simulated under
+        different settings never collide — the fingerprint is part of
+        every key.
+    """
+
+    def __init__(self, directory: str, settings: "EvaluationSettings") -> None:
+        self.directory = str(directory)
+        self.fingerprint = settings_fingerprint(settings)
+        os.makedirs(self.directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def key_for(self, cell: SweepCell) -> str:
+        digest = hashlib.sha256()
+        digest.update(self.fingerprint.encode("utf-8"))
+        digest.update(cell.identity_token().encode("utf-8"))
+        return digest.hexdigest()
+
+    def path_for(self, cell: SweepCell) -> str:
+        return os.path.join(self.directory, self.key_for(cell) + ".pkl")
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory) if name.endswith(".pkl"))
+
+    # ------------------------------------------------------------------
+    def load(self, cell: SweepCell) -> Optional["SimulationResult"]:
+        """The cached result for a cell, or None on any kind of miss."""
+        path = self.path_for(cell)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unpickling arbitrary corrupt bytes can raise nearly
+            # anything (ValueError, KeyError, UnicodeDecodeError, ...);
+            # any unreadable entry degrades to a miss, never a crash.
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cell_key") != cell.key
+            or payload.get("fingerprint") != self.fingerprint
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def store(self, cell: SweepCell, result: "SimulationResult") -> None:
+        """Persist one cell's result (atomic, last writer wins)."""
+        path = self.path_for(cell)
+        payload = {
+            "cell_key": cell.key,
+            "fingerprint": self.fingerprint,
+            "result": result,
+        }
+        temporary = f"{path}.tmp.{os.getpid()}"
+        with open(temporary, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temporary, path)
+        self.stores += 1

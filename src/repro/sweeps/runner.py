@@ -16,6 +16,21 @@ keeps all cells sharing those expensive artefacts on the same worker;
 when there are more workers than batches, batches are split so the
 extra workers still get work.
 
+Results stream: :meth:`SweepRunner.run_iter` yields ``(cell, result)``
+pairs as cells complete — in grid order serially, in completion order
+across workers — which is what the CLI's ``--progress`` reporting and
+any long-regeneration monitoring hang off.  :meth:`SweepRunner.run` is
+the drain-it-all convenience over the iterator.  Because results land
+in a keyed :class:`~repro.sweeps.results.SweepResults` store, rows
+assembled from a serial run, a parallel run and a streamed run are
+byte-identical; only arrival order differs.
+
+With a :class:`~repro.sweeps.cache.SweepCache` attached, cells already
+simulated under the same settings fingerprint are loaded from disk
+(and yielded immediately) instead of re-executed, and every newly
+computed cell is persisted — repeated figure regenerations across
+processes skip all shared work.
+
 Cell execution itself is deterministic (the simulator is a seeded
 discrete-event engine), so serial and parallel runs of the same grid
 produce identical results — ``tests/test_sweeps.py`` enforces this for
@@ -25,12 +40,13 @@ every registered experiment.
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.base import EvaluationContext, EvaluationSettings
 from repro.serving.factory import build_system
 from repro.simulation.results import SimulationResult
+from repro.sweeps.cache import SweepCache
 from repro.sweeps.results import SweepResults
 from repro.sweeps.spec import SweepCell, SweepGrid
 
@@ -96,6 +112,12 @@ class SweepRunner:
     keep_requests:
         Keep per-request records on the results.  Serial mode only —
         parallel runs always strip them before pickling.
+    cache:
+        Optional on-disk :class:`~repro.sweeps.cache.SweepCache`.  Cells
+        present under the runner's settings fingerprint are loaded
+        instead of executed; newly executed cells are persisted.  The
+        cache stores request-stripped results, so it is incompatible
+        with ``keep_requests``.
     """
 
     def __init__(
@@ -104,6 +126,7 @@ class SweepRunner:
         jobs: int = 1,
         context: Optional[EvaluationContext] = None,
         keep_requests: bool = False,
+        cache: Optional[SweepCache] = None,
     ) -> None:
         if context is not None and settings is None:
             settings = context.settings
@@ -114,37 +137,83 @@ class SweepRunner:
             raise ValueError("keep_requests is only supported for serial (jobs=1) runs")
         if context is not None and self.jobs > 1:
             raise ValueError("an existing context can only back a serial (jobs=1) run")
+        if keep_requests and cache is not None:
+            raise ValueError(
+                "the sweep cache stores request-stripped results and cannot back "
+                "a keep_requests run"
+            )
+        self.cache = cache
         self._context = context
 
     # ------------------------------------------------------------------
     def run(self, grid: SweepGrid, results: Optional[SweepResults] = None) -> SweepResults:
         """Execute every cell of ``grid`` not already present in ``results``."""
         results = results if results is not None else SweepResults()
-        todo = results.missing(grid)
-        if not todo:
-            return results
-        if self.jobs == 1:
-            self._run_serial(todo, results)
-        else:
-            self._run_parallel(todo, results)
+        for _ in self.run_iter(grid, results=results):
+            pass
         return results
 
+    def run_iter(
+        self, grid: SweepGrid, results: Optional[SweepResults] = None
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
+        """Execute a grid, yielding ``(cell, result)`` as cells complete.
+
+        Cells already present in ``results`` are skipped (not yielded);
+        cache hits are yielded up front, before any simulation starts.
+        Serial runs yield in grid order; parallel runs yield in
+        completion order.  Every yielded pair has already been added to
+        ``results``, so an abandoned iterator leaves a consistent store
+        containing exactly the cells yielded so far.
+        """
+        results = results if results is not None else SweepResults()
+        todo = results.missing(grid)
+        if todo and self.cache is not None:
+            remaining: List[SweepCell] = []
+            for cell in todo:
+                cached = self.cache.load(cell)
+                if cached is not None:
+                    results.add(cell, cached)
+                    yield cell, cached
+                else:
+                    remaining.append(cell)
+            todo = remaining
+        if not todo:
+            return
+        if self.jobs == 1:
+            yield from self._iter_serial(todo, results)
+        else:
+            yield from self._iter_parallel(todo, results)
+
     # ------------------------------------------------------------------
-    def _run_serial(self, cells: Sequence[SweepCell], results: SweepResults) -> None:
+    def _collect(
+        self, cell: SweepCell, result: SimulationResult, results: SweepResults
+    ) -> Tuple[SweepCell, SimulationResult]:
+        if self.cache is not None:
+            self.cache.store(cell, result)
+        results.add(cell, result)
+        return cell, result
+
+    def _iter_serial(
+        self, cells: Sequence[SweepCell], results: SweepResults
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
         if self._context is None:
             self._context = EvaluationContext(self.settings)
         for cell in cells:
-            results.add(cell, execute_cell(self._context, cell, self.keep_requests))
+            result = execute_cell(self._context, cell, self.keep_requests)
+            yield self._collect(cell, result, results)
 
-    def _run_parallel(self, cells: Sequence[SweepCell], results: SweepResults) -> None:
+    def _iter_parallel(
+        self, cells: Sequence[SweepCell], results: SweepResults
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
         batches = self._make_batches(cells)
         workers = min(self.jobs, len(batches))
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker, initargs=(self.settings,)
         ) as pool:
-            for batch_results in pool.map(_run_batch, batches):
-                for cell, result in batch_results:
-                    results.add(cell, result)
+            futures = [pool.submit(_run_batch, batch) for batch in batches]
+            for future in as_completed(futures):
+                for cell, result in future.result():
+                    yield self._collect(cell, result, results)
 
     def _make_batches(self, cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
         """Batch cells by (device, task), splitting when workers outnumber groups.

@@ -58,6 +58,16 @@ class SweepCell:
         """Identity used for deduplication and result lookup (tags excluded)."""
         return (self.system, self.device, self.task, self.overrides)
 
+    def identity_token(self) -> str:
+        """Stable string form of the identity, suitable for cache keys.
+
+        Override values are restricted in practice to literals (numbers,
+        strings, booleans) whose ``repr`` is stable across processes and
+        interpreter runs, which is what makes the on-disk sweep cache
+        reusable between invocations.
+        """
+        return repr(self.key)
+
     def override_dict(self) -> Dict[str, object]:
         return dict(self.overrides)
 

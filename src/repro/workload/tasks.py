@@ -67,8 +67,14 @@ class Task:
         board: Optional[CircuitBoard] = None,
         model: Optional[CoEModel] = None,
         num_requests: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> RequestStream:
-        """Materialise the task's request arrival stream."""
+        """Materialise the task's request arrival stream.
+
+        ``seed`` overrides the task's built-in seed (the harness's
+        ``--seed`` flag plumbs one global seed through here so a full
+        regeneration is reproducible end to end from a single number).
+        """
         board = board or self.board()
         model = model or self.model(board)
         return generate_request_stream(
@@ -76,7 +82,7 @@ class Task:
             model=model,
             num_requests=num_requests or self.num_requests,
             arrival_interval_ms=self.arrival_interval_ms,
-            seed=self.seed,
+            seed=self.seed if seed is None else seed,
             name=self.name,
             active_fraction=self.active_fraction,
         )

@@ -12,7 +12,7 @@ from repro.serving import SYSTEM_NAMES, build_system
 from repro.simulation.host_cache import HostCache
 from repro.simulation.model_pool import ModelPool
 from repro.simulation.queueing import RequestQueue
-from repro.simulation.reference import ReferenceRequestQueue, referencify
+from repro.simulation.reference import ReferenceRequestQueue, preredesign_run, referencify
 from repro.simulation.request import SimRequest, StageJob
 from repro.simulation.residency import ResidencyIndex
 from repro.workload.generator import RequestSpec, generate_request_stream
@@ -303,3 +303,28 @@ class TestEngineEquivalence:
         fast_result = fast_system.build_simulation().run(pressure_stream)
         slow_result = referencify(slow_system.build_simulation()).run(pressure_stream)
         assert fast_result == slow_result
+
+    @pytest.mark.parametrize("system_name", sorted(SYSTEM_NAMES))
+    def test_session_path_matches_preredesign_loop(
+        self, system_name, numa_device, small_board, small_model, pressure_usage, numa_matrix
+    ):
+        """The session/observer redesign changed no simulated result.
+
+        ``preredesign_run`` is the preserved monolithic loop with metric
+        collection inlined (the engine as it stood before observers);
+        the session path behind ``run()`` must match it bit for bit,
+        including the metrics collector it leaves behind.
+        """
+        for stream in _random_streams(small_board, small_model):
+            session_system = build_system(
+                system_name, numa_device, small_model, pressure_usage, performance_matrix=numa_matrix
+            )
+            preredesign_system = build_system(
+                system_name, numa_device, small_model, pressure_usage, performance_matrix=numa_matrix
+            )
+            session_simulation = session_system.build_simulation()
+            preredesign_simulation = preredesign_system.build_simulation()
+            session_result = session_simulation.run(stream)
+            preredesign_result = preredesign_run(preredesign_simulation, stream)
+            assert session_result == preredesign_result
+            assert session_simulation.metrics == preredesign_simulation.metrics

@@ -6,6 +6,7 @@ produce row-for-row identical :class:`ExperimentResult` objects, and
 repeated cells must be simulated exactly once.
 """
 
+import dataclasses
 import json
 import pickle
 
@@ -20,7 +21,17 @@ from repro.experiments.base import (
     ExperimentResult,
 )
 from repro.experiments.cli import collect_grid, main as cli_main, run_experiments
-from repro.sweeps import SweepCell, SweepGrid, SweepResults, SweepRunner, execute_cell
+from repro.metrics import MetricsObserver, TimelineObserver
+from repro.serving.factory import build_system
+from repro.sweeps import (
+    SweepCache,
+    SweepCell,
+    SweepGrid,
+    SweepResults,
+    SweepRunner,
+    execute_cell,
+    settings_fingerprint,
+)
 
 #: Small enough that the whole registry runs twice (serial + parallel)
 #: in tens of seconds; A2 included so figure19's override cells exist.
@@ -159,6 +170,157 @@ class TestSweepRunner:
             SweepRunner(context=tiny_context, jobs=2)
 
 
+class TestRunIter:
+    """run_iter streams (cell, result) pairs; run() is a drain over it."""
+
+    def test_serial_streaming_yields_in_grid_order(self, tiny_context):
+        grid = EXPERIMENT_GRIDS["figure13"](TINY_SETTINGS)
+        runner = SweepRunner(context=tiny_context)
+        results = SweepResults()
+        streamed = list(runner.run_iter(grid, results=results))
+        assert [cell for cell, _ in streamed] == list(grid.cells)
+        assert len(results) == len(grid)
+        for cell, result in streamed:
+            assert results[cell] == result
+
+    def test_streamed_results_match_run(self):
+        grid = EXPERIMENT_GRIDS["figure13"](TINY_SETTINGS)
+        drained = SweepRunner(settings=TINY_SETTINGS).run(grid)
+        streamed = SweepResults()
+        for _ in SweepRunner(settings=TINY_SETTINGS).run_iter(grid, results=streamed):
+            pass
+        assert len(drained) == len(streamed) == len(grid)
+        for cell in grid:
+            assert drained[cell] == streamed[cell], f"cell {cell.label()} diverged"
+
+    def test_parallel_streaming_matches_serial_cell_for_cell(self):
+        grid = EXPERIMENT_GRIDS["figure13"](TINY_SETTINGS)
+        serial = SweepRunner(settings=TINY_SETTINGS).run(grid)
+        parallel = SweepResults()
+        yielded = list(SweepRunner(settings=TINY_SETTINGS, jobs=2).run_iter(grid, results=parallel))
+        # completion order may differ, but the keyed results may not
+        assert {cell.key for cell, _ in yielded} == {cell.key for cell in grid}
+        for cell in grid:
+            assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
+
+    def test_cells_already_present_are_not_yielded(self, tiny_context):
+        grid = EXPERIMENT_GRIDS["figure13"](TINY_SETTINGS)
+        results = SweepResults()
+        results.add(grid.cells[0], "already-there")
+        streamed = list(SweepRunner(context=tiny_context).run_iter(grid, results=results))
+        assert grid.cells[0] not in {cell for cell, _ in streamed}
+        assert len(streamed) == len(grid) - 1
+
+
+class TestSweepCache:
+    def test_round_trip_skips_execution(self, tmp_path, tiny_context):
+        grid = EXPERIMENT_GRIDS["figure13"](TINY_SETTINGS)
+        first_cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        first = SweepRunner(context=tiny_context, cache=first_cache).run(grid)
+        assert first_cache.stores == len(grid)
+        assert first_cache.hits == 0
+
+        # a fresh runner over the same directory loads every cell
+        second_cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        executed = []
+        second = SweepResults()
+        for cell, _ in SweepRunner(settings=TINY_SETTINGS, cache=second_cache).run_iter(
+            grid, results=second
+        ):
+            executed.append(cell)
+        assert second_cache.hits == len(grid)
+        assert second_cache.stores == 0
+        assert len(executed) == len(grid)  # hits are still yielded (for progress)
+        for cell in grid:
+            assert first[cell] == second[cell]
+
+    def test_settings_change_invalidates_the_key(self, tmp_path, tiny_context):
+        cell = SweepCell.make("coserve-best", "numa", "A1")
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        cache.store(cell, execute_cell(tiny_context, cell))
+        changed = dataclasses.replace(TINY_SETTINGS, seed=1234)
+        assert settings_fingerprint(changed) != settings_fingerprint(TINY_SETTINGS)
+        other_cache = SweepCache(str(tmp_path), changed)
+        assert other_cache.load(cell) is None
+        assert SweepCache(str(tmp_path), TINY_SETTINGS).load(cell) is not None
+
+    def test_selection_only_fields_do_not_invalidate(self, tmp_path, tiny_context):
+        """Cells depend on their own coordinates, so changing which
+        devices/tasks a run *selects* must reuse the shared cells."""
+        cell = SweepCell.make("coserve-best", "numa", "A1")
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        cache.store(cell, execute_cell(tiny_context, cell))
+        widened = dataclasses.replace(
+            TINY_SETTINGS, devices=("numa", "uma"), task_names=("A1", "A2", "B1")
+        )
+        assert settings_fingerprint(widened) == settings_fingerprint(TINY_SETTINGS)
+        assert SweepCache(str(tmp_path), widened).load(cell) is not None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path, tiny_context):
+        cell = SweepCell.make("coserve-best", "numa", "A1")
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        cache.store(cell, execute_cell(tiny_context, cell))
+        with open(cache.path_for(cell), "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.load(cell) is None
+        assert cache.misses == 1
+
+    def test_cache_rejected_with_keep_requests(self, tmp_path):
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        with pytest.raises(ValueError):
+            SweepRunner(settings=TINY_SETTINGS, keep_requests=True, cache=cache)
+
+
+class TestSeedPlumbing:
+    def test_seed_reaches_the_workload_generator(self):
+        seeded = EvaluationContext(dataclasses.replace(TINY_SETTINGS, seed=777))
+        default = EvaluationContext(TINY_SETTINGS)
+        assert seeded.stream("A1").seed == 777
+        assert default.stream("A1").seed == seeded.task("A1").seed
+        assert seeded.stream("A1").requests != default.stream("A1").requests
+
+    def test_same_seed_reproduces_rows_across_fresh_runs(self):
+        settings = dataclasses.replace(TINY_SETTINGS, seed=777)
+        first = run_experiments(["figure13"], settings)
+        second = run_experiments(["figure13"], settings)
+        assert first[0][1].rows == second[0][1].rows
+
+
+class TestObserverEquivalence:
+    """The ISSUE's contract: zero observers, metrics/timeline observers
+    and the legacy ``run()`` produce identical results for every cell of
+    every registered experiment grid."""
+
+    @staticmethod
+    def _serve_via_session(context, cell, observers=()):
+        device = context.device(cell.device)
+        _, model = context.board_and_model(cell.task)
+        system = build_system(
+            cell.system,
+            device,
+            model,
+            context.usage_profile(cell.task),
+            performance_matrix=context.performance_matrix(cell.device, cell.task),
+            **cell.override_dict(),
+        )
+        result = system.session(context.stream(cell.task), observers=observers).run()
+        if result.requests:
+            result = dataclasses.replace(result, requests=())
+        return result
+
+    def test_every_registered_grid_is_observer_invariant(self, tiny_context):
+        grid = collect_grid(sorted(EXPERIMENTS), TINY_SETTINGS)
+        assert grid, "the registry must declare at least one sweep cell"
+        for cell in grid:
+            legacy = execute_cell(tiny_context, cell)
+            bare = self._serve_via_session(tiny_context, cell)
+            observed = self._serve_via_session(
+                tiny_context, cell, observers=[TimelineObserver(), MetricsObserver()]
+            )
+            assert bare == legacy, f"zero-observer session diverged on {cell.label()}"
+            assert observed == legacy, f"observed session diverged on {cell.label()}"
+
+
 class TestDeterminism:
     """Serial and parallel sweeps must be indistinguishable row-for-row."""
 
@@ -242,3 +404,45 @@ class TestCLI:
     def test_rejects_non_positive_jobs(self):
         with pytest.raises(SystemExit):
             cli_main(["table01", "--jobs", "0"])
+
+    def test_progress_reports_cells_and_rows_on_stderr(self, capsys):
+        exit_code = cli_main(
+            ["figure13", "--devices", "numa", "--tasks", "A1", "--requests", "120", "--progress"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "[sweep " in captured.err and "cells]" in captured.err
+        assert "[figure13: " in captured.err and "rows]" in captured.err
+        assert "[sweep" not in captured.out  # stdout stays machine-readable
+
+    def test_cache_flag_reuses_cells_across_invocations(self, tmp_path, capsys):
+        arguments = [
+            "figure13",
+            "--devices",
+            "numa",
+            "--tasks",
+            "A1",
+            "--requests",
+            "120",
+            "--progress",
+            "--cache",
+            str(tmp_path),
+        ]
+        assert cli_main(arguments) == 0
+        first = capsys.readouterr()
+        assert "from cache" not in first.err
+        assert cli_main(arguments) == 0
+        second = capsys.readouterr()
+        assert "(5 from cache)" in second.err
+        assert first.out == second.out  # cached rows render identically
+
+    def test_seed_flag_changes_the_workload(self, capsys):
+        base = ["figure13", "--devices", "numa", "--tasks", "A1", "--requests", "120"]
+        assert cli_main(base + ["--seed", "7"]) == 0
+        seeded_once = capsys.readouterr().out
+        assert cli_main(base + ["--seed", "7"]) == 0
+        seeded_again = capsys.readouterr().out
+        assert cli_main(base) == 0
+        default = capsys.readouterr().out
+        assert seeded_once == seeded_again  # reproducible end to end
+        assert seeded_once != default  # and actually plumbed through
