@@ -1,0 +1,60 @@
+"""Machine-readable benchmark results (``BENCH_engine.json``).
+
+Every engine benchmark records its measured numbers here so the perf
+trajectory is comparable across PRs without scraping pytest output: the
+CI workflow runs the engine benchmarks and the resulting
+``BENCH_engine.json`` (one JSON object per benchmark name, merged
+across the run) is printed/uploaded on every push.
+
+The file is rewritten atomically (temp file + ``os.replace``) and
+merge-updated, so benchmarks running in any order — or a partial rerun
+of a single benchmark — leave a consistent document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict
+
+#: Written at the repository root (the directory pytest runs from).
+BENCH_RESULTS_FILE = "BENCH_engine.json"
+
+
+def record_bench_result(name: str, payload: Dict[str, object]) -> None:
+    """Merge one benchmark's measurements into ``BENCH_engine.json``.
+
+    ``payload`` must be JSON-serialisable; a UTC timestamp is stamped
+    onto each entry so stale numbers are recognisable.
+    """
+    path = os.path.abspath(BENCH_RESULTS_FILE)
+    document: Dict[str, object] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        document = {}
+    benchmarks = document.setdefault("benchmarks", {})
+    if not isinstance(benchmarks, dict):  # corrupt file: start over
+        document = {"benchmarks": {}}
+        benchmarks = document["benchmarks"]
+    entry = dict(payload)
+    entry["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    benchmarks[name] = entry
+
+    handle, temp_path = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".", prefix=".bench-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise

@@ -26,6 +26,7 @@ import time
 
 import pytest
 
+from recorder import record_bench_result
 from repro.core.profiler import OfflineProfiler
 from repro.hardware.presets import make_numa_device
 from repro.serving import CoServeSystem
@@ -130,6 +131,16 @@ def test_engine_hotpath_speedup(hotpath_case):
         f"optimised {fast_elapsed * 1000:.0f} ms, speedup {speedup:.1f}x "
         f"({len(stream)} requests)"
     )
+    record_bench_result(
+        "engine_hotpath",
+        {
+            "num_requests": len(stream),
+            "reference_seconds": round(slow_elapsed, 3),
+            "optimised_seconds": round(fast_elapsed, 3),
+            "speedup": round(speedup, 3),
+            "min_speedup_asserted": MIN_SPEEDUP,
+        },
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"hot-path speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
         f"(reference {slow_elapsed:.3f}s, optimised {fast_elapsed:.3f}s)"
@@ -182,6 +193,16 @@ def test_session_observer_overhead(hotpath_case):
         f"\nobserver overhead: pre-redesign loop {preredesign_elapsed * 1000:.0f} ms, "
         f"session {session_elapsed * 1000:.0f} ms, ratio {overhead:.3f}x "
         f"({len(stream)} requests)"
+    )
+    record_bench_result(
+        "observer_overhead",
+        {
+            "num_requests": len(stream),
+            "preredesign_seconds": round(preredesign_elapsed, 3),
+            "session_seconds": round(session_elapsed, 3),
+            "overhead_ratio": round(overhead, 3),
+            "max_overhead_asserted": MAX_OBSERVER_OVERHEAD,
+        },
     )
     assert session_elapsed <= preredesign_elapsed * MAX_OBSERVER_OVERHEAD, (
         f"observer dispatch overhead regressed: {overhead:.3f}x > "

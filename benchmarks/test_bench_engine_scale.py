@@ -1,0 +1,240 @@
+"""Million-request engine-scale benchmark.
+
+Serves one long production shift (a 200k-request flood by default;
+``COSERVE_BENCH_MILLION=1`` escalates to the full million) end to end —
+workload generation plus serving — along two pipelines:
+
+* **pre-PR**: :func:`generate_request_stream` materialises every
+  :class:`RequestSpec`, then :func:`repro.simulation.reference.preredesign_run`
+  serves it the way the engine did before the arrival-cursor redesign —
+  every request, first-stage job and arrival heap entry built up front,
+  the event heap O(N + active) deep.  (PR 3's session measured within
+  2–4 % of this preserved loop, so it stands in for the pre-PR session
+  path.)
+* **arrival-cursor**: :meth:`RequestStream.lazy` + ``session.run()`` —
+  specs realised on demand, requests materialised at arrival time and
+  released at completion (``keep_request_records=False`` +
+  ``keep_stage_records=False``), the heap holding live events only.
+
+Asserted guarantees, with the measured numbers recorded to
+``BENCH_engine.json``:
+
+* results are **bit-identical** between the two pipelines;
+* the arrival-cursor pipeline is at least ``MIN_SPEEDUP``× faster
+  end to end;
+* peak live requests track **in-flight** work, not stream length
+  (``MAX_LIVE_FRACTION`` of N), and the streaming pipeline's
+  ``tracemalloc`` peak stays under ``MAX_PEAK_FRACTION`` of the eager
+  pipeline's.
+
+The workload is the paper's regime stretched to production-shift
+length: a single saturated GPU executor under constant arrivals, an
+active working set that overflows the expert pool (so eviction and
+switching stay hot), served at the arrival rate the executor can just
+sustain — queues stay short, which is exactly the regime where the old
+O(N)-deep heap and up-front materialisation dominate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from recorder import record_bench_result
+from repro.hardware.presets import make_numa_device
+from repro.hardware.processor import ProcessorKind
+from repro.hardware.units import GB
+from repro.policies.lru import LRUPolicy
+from repro.scheduling.fcfs import FCFSScheduling
+from repro.simulation.engine import ServingSimulation, SimulationOptions
+from repro.simulation.executor import ExecutorConfig
+from repro.simulation.reference import preredesign_run
+from repro.simulation.session import SimObserver
+from repro.workload.circuit_board import build_inspection_model, make_board
+from repro.workload.generator import RequestStream, generate_request_stream
+
+#: Required end-to-end speedup of the arrival-cursor pipeline over the
+#: pre-PR (eager + heap-seeded) pipeline.  Measured ~1.4x at 200k.
+MIN_SPEEDUP = 1.3
+
+#: Peak live requests must stay below this fraction of the stream
+#: (in-flight is a few hundred in this regime; the old path held all N).
+MAX_LIVE_FRACTION = 0.05
+
+#: The streaming pipeline's tracemalloc peak must stay below this
+#: fraction of the eager pipeline's peak.
+MAX_PEAK_FRACTION = 1 / 3
+
+
+def _million() -> bool:
+    return os.environ.get("COSERVE_BENCH_MILLION", "0") not in ("", "0", "false", "False")
+
+
+NUM_REQUESTS = 1_000_000 if _million() else 200_000
+
+#: Arrival interval tuned so the single saturated executor just keeps
+#: up (service is ~135 ms/request in this switching-heavy regime).
+ARRIVAL_INTERVAL_MS = 140.0
+
+
+@pytest.fixture(scope="module")
+def scale_case():
+    board = make_board("HP", component_types=120, detection_groups=12, detection_fraction=0.3)
+    model = build_inspection_model(board)
+    return board, model
+
+
+def _stream_kwargs():
+    return dict(
+        num_requests=NUM_REQUESTS,
+        arrival_interval_ms=ARRIVAL_INTERVAL_MS,
+        seed=17,
+        name=f"shift-{NUM_REQUESTS}",
+        order="scan",
+        active_fraction=0.5,
+    )
+
+
+def _build_simulation(model) -> ServingSimulation:
+    return ServingSimulation(
+        device=make_numa_device(),
+        model=model,
+        executor_configs=[ExecutorConfig("gpu-0", ProcessorKind.GPU, 8 * GB, 1 * GB)],
+        scheduling_policy=FCFSScheduling(batch_size=8),
+        eviction_policy=LRUPolicy(),
+        options=SimulationOptions(keep_request_records=False, keep_stage_records=False),
+    )
+
+
+def _pre_pr_pipeline(board, model):
+    """Eager stream + heap-seeded monolithic loop (the pre-PR shape)."""
+    stream = generate_request_stream(board, model, **_stream_kwargs())
+    return preredesign_run(_build_simulation(model), stream)
+
+
+def _cursor_pipeline(board, model):
+    """Lazy stream + arrival-cursor session (this PR's shape)."""
+    stream = RequestStream.lazy(board, model, **_stream_kwargs())
+    return _build_simulation(model).session(stream).run()
+
+
+#: Interleaved timing repetitions per pipeline.  Alternating the two
+#: pipelines (pre-PR, cursor, pre-PR, cursor, ...) exposes both to the
+#: same allocator/page-cache state and machine noise; min-per-side then
+#: compares their best honest showings.
+TIMING_REPS = 2 if _million() else 3
+
+
+def _timed(pipeline, *args):
+    start = time.perf_counter()
+    result = pipeline(*args)
+    return time.perf_counter() - start, result
+
+
+def _interleaved_best(pipeline_a, pipeline_b, *args):
+    best_a = best_b = None
+    result_a = result_b = None
+    for _ in range(TIMING_REPS):
+        elapsed, result_a = _timed(pipeline_a, *args)
+        best_a = elapsed if best_a is None else min(best_a, elapsed)
+        elapsed, result_b = _timed(pipeline_b, *args)
+        best_b = elapsed if best_b is None else min(best_b, elapsed)
+    return (best_a, result_a), (best_b, result_b)
+
+
+class _LiveRequestTracker(SimObserver):
+    """Samples the session's live-request count at every completion."""
+
+    def __init__(self, session) -> None:
+        self._session = session
+        self.max_live = 0
+
+    def on_request_completion(self, event) -> None:
+        live = self._session.live_requests
+        if live > self.max_live:
+            self.max_live = live
+
+
+def test_engine_scale_speedup_and_memory(scale_case):
+    board, model = scale_case
+
+    # Warm up both pipelines at a small size so neither pays first-run
+    # interpreter/cache costs inside the timed region.
+    small = dict(_stream_kwargs())
+    small["num_requests"] = 2000
+    preredesign_run(_build_simulation(model), generate_request_stream(board, model, **small))
+    _build_simulation(model).run(RequestStream.lazy(board, model, **small))
+
+    # ------------------------------------------------------------------
+    # Wall clock: end-to-end (stream construction + serving),
+    # interleaved repetitions, best per side.
+    # ------------------------------------------------------------------
+    (eager_elapsed, eager_result), (cursor_elapsed, cursor_result) = _interleaved_best(
+        _pre_pr_pipeline, _cursor_pipeline, board, model
+    )
+
+    assert cursor_result == eager_result, (
+        "arrival-cursor pipeline changed the simulated result"
+    )
+
+    speedup = eager_elapsed / cursor_elapsed
+    print(
+        f"\nengine scale ({NUM_REQUESTS} requests): pre-PR {eager_elapsed:.2f} s, "
+        f"arrival-cursor {cursor_elapsed:.2f} s, speedup {speedup:.2f}x"
+    )
+
+    # ------------------------------------------------------------------
+    # Memory: live-object bound and allocation peaks (untimed).
+    # ------------------------------------------------------------------
+    session = _build_simulation(model).session(
+        RequestStream.lazy(board, model, **_stream_kwargs())
+    )
+    tracker = _LiveRequestTracker(session)
+    session.add_observer(tracker)
+    tracemalloc.start()
+    session.run()
+    _, cursor_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    _pre_pr_pipeline(board, model)
+    _, eager_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(
+        f"peak live requests {tracker.max_live} of {NUM_REQUESTS}; "
+        f"tracemalloc peak pre-PR {eager_peak / 1e6:.1f} MB, "
+        f"arrival-cursor {cursor_peak / 1e6:.1f} MB"
+    )
+
+    record_bench_result(
+        "engine_scale",
+        {
+            "num_requests": NUM_REQUESTS,
+            "arrival_interval_ms": ARRIVAL_INTERVAL_MS,
+            "pre_pr_seconds": round(eager_elapsed, 3),
+            "arrival_cursor_seconds": round(cursor_elapsed, 3),
+            "speedup": round(speedup, 3),
+            "peak_live_requests": tracker.max_live,
+            "pre_pr_peak_bytes": eager_peak,
+            "arrival_cursor_peak_bytes": cursor_peak,
+            "min_speedup_asserted": MIN_SPEEDUP,
+        },
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"engine-scale speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
+        f"(pre-PR {eager_elapsed:.2f}s, arrival-cursor {cursor_elapsed:.2f}s)"
+    )
+    live_bound = int(NUM_REQUESTS * MAX_LIVE_FRACTION)
+    assert 0 < tracker.max_live <= live_bound, (
+        f"live requests not bounded by in-flight work: peak {tracker.max_live} "
+        f"> {live_bound} ({MAX_LIVE_FRACTION:.0%} of {NUM_REQUESTS})"
+    )
+    assert cursor_peak <= eager_peak * MAX_PEAK_FRACTION, (
+        f"streaming pipeline's allocation peak too close to the eager one: "
+        f"{cursor_peak / 1e6:.1f} MB > {MAX_PEAK_FRACTION:.2f} * {eager_peak / 1e6:.1f} MB"
+    )

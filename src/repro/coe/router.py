@@ -148,14 +148,25 @@ class Router:
         probabilities; once a stage is skipped, all later stages are
         skipped too (the pipeline is sequential).
         """
-        rule = self.rule(category)
-        if rng is None:
-            return rule.pipeline
-        resolved: List[str] = [rule.preliminary_expert]
-        for expert_id, probability in zip(rule.subsequent_experts, rule.continuation_probabilities):
+        # Inlined against the rule's stored tuples (no property slices):
+        # this runs once per generated request, i.e. a million times per
+        # long-shift workload.
+        try:
+            rule = self._rules[category]
+        except KeyError:
+            rule = self.rule(category)  # raises the documented error
+        pipeline = rule.pipeline
+        if rng is None or len(pipeline) == 1:
+            # Single-stage pipelines (the majority of categories) have
+            # nothing to sample: return the rule's own tuple instead of
+            # rebuilding an identical one per request.  No RNG draw is
+            # skipped — the loop below would consume none either.
+            return pipeline
+        resolved: List[str] = [pipeline[0]]
+        for index, probability in enumerate(rule.continuation_probabilities):
             if probability < 1.0 and rng.random() >= probability:
                 break
-            resolved.append(expert_id)
+            resolved.append(pipeline[index + 1])
         return tuple(resolved)
 
     def categories_using(self, expert_id: str) -> Tuple[str, ...]:

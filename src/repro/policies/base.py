@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import abc
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import AbstractSet, Callable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import AbstractSet, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -90,22 +91,33 @@ def select_victims(
     """
     if bytes_to_free is None or resident_bytes is None:
         return sorted(candidates, key=sort_key)
-    candidates = list(candidates)
     if bytes_to_free <= 0 or not candidates:
         return []
-    total = len(candidates)
+    # Decorate once: every selection round compares C-level tuples
+    # instead of re-invoking the Python key per candidate per round
+    # (the key is unique — policies tie-break on the expert id — so the
+    # decorated order is exactly the keyed order).
+    decorated = [(sort_key(expert_id), expert_id) for expert_id in candidates]
+    if not decorated:  # candidates may be any iterable, even an empty one
+        return []
+    # Fast path: the single coldest candidate usually covers the bytes
+    # (one incoming expert displaces roughly one resident).
+    _, first_id = min(decorated)
+    if resident_bytes.get(first_id, 0) >= bytes_to_free:
+        return [first_id]
+    total = len(decorated)
     k = min(total, 8)
     while True:
-        selected = heapq.nsmallest(k, candidates, key=sort_key)
+        selected = heapq.nsmallest(k, decorated)
         covered = 0
-        for index, expert_id in enumerate(selected):
+        for index, (_, expert_id) in enumerate(selected):
             covered += resident_bytes.get(expert_id, 0)
             if covered >= bytes_to_free:
-                return selected[: index + 1]
+                return [expert_id for _, expert_id in selected[: index + 1]]
         if k >= total:
             # Even evicting everything cannot cover the request; return
             # the full order and let the simulator report the failure.
-            return selected
+            return [expert_id for _, expert_id in selected]
         k = min(total, k * 4)
 
 
@@ -140,27 +152,90 @@ class EvictionPolicy(abc.ABC):
         return f"{type(self).__name__}()"
 
 
-class _PerPoolCounterPolicy(EvictionPolicy):
-    """Shared machinery for policies keyed on per-pool counters."""
+class _PerPoolRecencyPolicy(EvictionPolicy):
+    """Shared machinery for bump-ordered policies (LRU, FIFO).
+
+    Each pool keeps an insertion-ordered map of its experts; bumping an
+    expert moves it to the most-recent end.  Bumps used to assign a
+    unique monotonically increasing tick with victims selected by
+    sorting on ``(tick, expert_id)``; ticks being unique, that order is
+    exactly the map's iteration order, so :meth:`_victims_by_recency`
+    streams victims straight out of the map — no per-candidate key
+    tuples, no sort — while returning the identical prefix
+    (equivalence enforced by ``tests/test_policies.py``).
+    """
 
     def __init__(self) -> None:
-        self._counters: dict = {}
-        self._tick = 0
+        self._order: Dict[str, "OrderedDict[str, None]"] = {}
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._tick = 0
+        self._order.clear()
 
     def _bump(self, pool_name: str, expert_id: str) -> None:
-        self._tick += 1
-        self._counters[(pool_name, expert_id)] = self._tick
-
-    def _counter(self, pool_name: str, expert_id: str) -> int:
-        return self._counters.get((pool_name, expert_id), 0)
+        pool_order = self._order.get(pool_name)
+        if pool_order is None:
+            self._order[pool_name] = OrderedDict({expert_id: None})
+        elif expert_id in pool_order:
+            pool_order.move_to_end(expert_id)
+        else:
+            pool_order[expert_id] = None
 
     def _forget(self, pool_name: str, expert_id: str) -> None:
-        self._counters.pop((pool_name, expert_id), None)
+        pool_order = self._order.get(pool_name)
+        if pool_order is not None:
+            pool_order.pop(expert_id, None)
+
+    def _victims_by_recency(self, context: EvictionContext) -> List[str]:
+        """Evictable residents, least recently bumped first.
+
+        Semantically ``select_victims(context.evictable(), key=(tick,
+        expert_id), ...)``: residents never bumped (tick 0 — cannot
+        happen through the engine, which records every load) come first
+        in id order, then bumped residents in bump order; with byte
+        information present the list is truncated once the victims
+        cover the requested amount, and — like ``select_victims`` —
+        the full order is returned when even that cannot cover it.
+        """
+        pool_order = self._order.get(context.pool_name)
+        if pool_order is None:
+            pool_order = ()
+        blocked = set(context.protected_expert_ids)
+        blocked.add(context.incoming_expert_id)
+        resident = context.resident_expert_ids
+        resident_set = set(resident)
+        never_bumped = sorted(
+            expert_id
+            for expert_id in resident
+            if expert_id not in pool_order and expert_id not in blocked
+        )
+        bytes_to_free = context.bytes_to_free
+        sizes = context.resident_bytes
+        if bytes_to_free is None or sizes is None:
+            return never_bumped + [
+                expert_id
+                for expert_id in pool_order
+                if expert_id in resident_set and expert_id not in blocked
+            ]
+        if bytes_to_free <= 0:
+            return []
+        victims: List[str] = []
+        covered = 0
+        for expert_id in never_bumped:
+            victims.append(expert_id)
+            covered += sizes.get(expert_id, 0)
+            if covered >= bytes_to_free:
+                return victims
+        for expert_id in pool_order:
+            if expert_id in blocked or expert_id not in resident_set:
+                continue
+            victims.append(expert_id)
+            covered += sizes.get(expert_id, 0)
+            if covered >= bytes_to_free:
+                break
+        return victims
 
 
-#: Backwards-compatible alias (pools used to be strictly per-executor).
-_PerExecutorCounterPolicy = _PerPoolCounterPolicy
+#: Backwards-compatible aliases (pools used to be strictly per-executor,
+#: and the bump order used to be stored as explicit integer ticks).
+_PerPoolCounterPolicy = _PerPoolRecencyPolicy
+_PerExecutorCounterPolicy = _PerPoolRecencyPolicy

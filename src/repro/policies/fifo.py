@@ -9,11 +9,16 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.policies.base import EvictionContext, _PerPoolCounterPolicy, select_victims
+from repro.policies.base import EvictionContext, _PerPoolRecencyPolicy
 
 
-class FIFOPolicy(_PerPoolCounterPolicy):
-    """Evict the resident expert that was loaded earliest."""
+class FIFOPolicy(_PerPoolRecencyPolicy):
+    """Evict the resident expert that was loaded earliest.
+
+    Only loads bump recency (accesses do not), so the pool's
+    bump-ordered map *is* the load order and victims stream out of it
+    directly.
+    """
 
     name = "fifo"
 
@@ -24,9 +29,4 @@ class FIFOPolicy(_PerPoolCounterPolicy):
         self._forget(pool_name, expert_id)
 
     def victim_order(self, context: EvictionContext) -> List[str]:
-        return select_victims(
-            context.evictable(),
-            lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
-            context.bytes_to_free,
-            context.resident_bytes,
-        )
+        return self._victims_by_recency(context)

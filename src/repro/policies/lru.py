@@ -10,11 +10,17 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.policies.base import EvictionContext, _PerPoolCounterPolicy, select_victims
+from repro.policies.base import EvictionContext, _PerPoolRecencyPolicy
 
 
-class LRUPolicy(_PerPoolCounterPolicy):
-    """Evict the resident expert that was used least recently."""
+class LRUPolicy(_PerPoolRecencyPolicy):
+    """Evict the resident expert that was used least recently.
+
+    Loads and accesses both bump recency; victims stream out of the
+    pool's bump-ordered map (identical order to the former
+    ``(tick, expert_id)`` sort, without building a key per resident
+    per eviction).
+    """
 
     name = "lru"
 
@@ -28,9 +34,4 @@ class LRUPolicy(_PerPoolCounterPolicy):
         self._forget(pool_name, expert_id)
 
     def victim_order(self, context: EvictionContext) -> List[str]:
-        return select_victims(
-            context.evictable(),
-            lambda expert_id: (self._counter(context.pool_name, expert_id), expert_id),
-            context.bytes_to_free,
-            context.resident_bytes,
-        )
+        return self._victims_by_recency(context)

@@ -11,7 +11,7 @@ from repro.hardware.device import Device
 from repro.simulation.engine import ServingSimulation
 from repro.simulation.results import SimulationResult
 from repro.simulation.session import SimulationSession
-from repro.workload.generator import RequestStream
+from repro.workload.generator import RequestStreamLike
 
 #: The result type returned by :meth:`ServingSystem.serve`.
 ServingResult = SimulationResult
@@ -45,7 +45,7 @@ class ServingSystem(abc.ABC):
         return UsageProfile(uniform)
 
     @classmethod
-    def usage_profile_from_stream(cls, model: CoEModel, stream: RequestStream) -> UsageProfile:
+    def usage_profile_from_stream(cls, model: CoEModel, stream: RequestStreamLike) -> UsageProfile:
         """Pre-assess usage probabilities from a representative stream.
 
         This mirrors §4.5's empirical procedure: run the routing on a
@@ -63,7 +63,7 @@ class ServingSystem(abc.ABC):
 
     def session(
         self,
-        stream: RequestStream,
+        stream: RequestStreamLike,
         observers: Sequence[object] = (),
         collect_metrics: bool = True,
     ) -> SimulationSession:
@@ -71,7 +71,10 @@ class ServingSystem(abc.ABC):
 
         The session API (``step`` / ``run_until`` / ``events`` plus the
         ``SimObserver`` hooks) is the primary way to drive the engine;
-        :meth:`serve` is the run-to-completion shim over it.
+        :meth:`serve` is the run-to-completion shim over it.  ``stream``
+        may be an eager :class:`~repro.workload.generator.RequestStream`
+        or a :class:`~repro.workload.generator.LazyRequestStream` (the
+        long-production-shift form — specs realised on demand).
         ``collect_metrics=False`` drops the built-in metrics observer
         (for callers replacing the collector wholesale).
         """
@@ -80,7 +83,7 @@ class ServingSystem(abc.ABC):
         )
 
     def serve(
-        self, stream: RequestStream, observers: Sequence[object] = ()
+        self, stream: RequestStreamLike, observers: Sequence[object] = ()
     ) -> ServingResult:
         """Serve a request stream to completion and return the result."""
         return self.session(stream, observers=observers).run()

@@ -81,7 +81,7 @@ from repro.simulation.residency import ResidencyIndex
 from repro.simulation.resources import SerialResource
 from repro.simulation.results import ExecutorSummary, SimulationResult
 from repro.simulation.session import SimulationError, SimulationSession
-from repro.workload.generator import RequestStream
+from repro.workload.generator import RequestStreamLike
 
 __all__ = [
     "ServingSimulation",
@@ -103,6 +103,15 @@ class SimulationOptions:
         Keep per-request stage records in the result (needed for the
         latency breakdowns of Figures 1 and 19; can be disabled for
         large sweeps).
+    keep_stage_records:
+        Materialise per-stage :class:`~repro.simulation.request.StageRecord`\\ s
+        on live requests.  Disable (together with
+        ``keep_request_records=False``) for maximum-throughput
+        million-request runs where only aggregate metrics are read:
+        completion times (and hence end-to-end latencies) are still
+        tracked, but ``SimRequest.records`` stays empty, so observers
+        reading per-stage breakdowns (e.g. an ``SLOMonitor`` on the
+        ``"service"`` metric) need this left on.
     keep_metric_events:
         Keep individual load/execution events in the metrics collector.
     """
@@ -114,6 +123,17 @@ class SimulationOptions:
     #: share the same physical memory).  Disable to give every executor
     #: a private pool.
     share_pool_per_processor: bool = True
+    #: Appended after the pre-existing fields so positional construction
+    #: keeps its old meaning.
+    keep_stage_records: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.keep_stage_records and self.keep_request_records:
+            raise ValueError(
+                "keep_stage_records=False requires keep_request_records=False: "
+                "the result would carry every request with empty stage records, "
+                "silently zeroing the per-request latency breakdowns"
+            )
 
 
 class ServingSimulation:
@@ -291,7 +311,7 @@ class ServingSimulation:
     # ------------------------------------------------------------------
     def session(
         self,
-        stream: RequestStream,
+        stream: RequestStreamLike,
         observers: Sequence[object] = (),
         collect_metrics: bool = True,
     ) -> SimulationSession:
@@ -299,7 +319,12 @@ class ServingSimulation:
 
         A simulation backs at most one session (pools, stats and serial
         resources are mutated by the run); build a fresh simulation per
-        session.  ``collect_metrics=False`` drops the built-in metrics
+        session.  ``stream`` may be an eager
+        :class:`~repro.workload.generator.RequestStream` or a
+        :class:`~repro.workload.generator.LazyRequestStream` — the
+        session consumes specs through its arrival cursor either way,
+        and a lazy stream keeps million-request runs at in-flight
+        memory.  ``collect_metrics=False`` drops the built-in metrics
         observer — for callers that replace the collector wholesale
         (e.g. supplying their own ``MetricsObserver(self.metrics)``).
         """
@@ -308,7 +333,7 @@ class ServingSimulation:
         )
 
     def run(
-        self, stream: RequestStream, observers: Sequence[object] = ()
+        self, stream: RequestStreamLike, observers: Sequence[object] = ()
     ) -> SimulationResult:
         """Serve a request stream to completion and return the result.
 

@@ -127,15 +127,20 @@ class RequestQueue:
 
     def append(self, job: StageJob) -> int:
         """Append a job at the tail; returns its index.  O(1)."""
-        tail = self._runs[-1] if self._runs else None
-        if tail is not None and tail.expert_id == job.expert_id:
+        expert_id = job.expert_id
+        runs = self._runs
+        tail = runs[-1] if runs else None
+        if tail is not None and tail.expert_id == expert_id:
             tail.jobs.append(job)
         else:
-            run = _Run(job.expert_id)
+            run = _Run(expert_id)
             run.jobs.append(job)
-            self._runs.append(run)
-            self._last_run[job.expert_id] = run
-        self._account_insert(job)
+            runs.append(run)
+            self._last_run[expert_id] = run
+        # _account_insert, inlined: append runs once per enqueued job.
+        self._expert_counts[expert_id] += 1
+        self._pending_latency_ms += job.predicted_latency_ms
+        self._size += 1
         return self._size - 1
 
     def insert_grouped(self, job: StageJob) -> None:

@@ -120,6 +120,23 @@ class StageJob:
     enqueue_ms: float
     predicted_latency_ms: float = 0.0
 
+    @classmethod
+    def initial(cls, request: SimRequest) -> "StageJob":
+        """The stage-0 job a request enters the system with.
+
+        Materialised at arrival time (not at stream construction): the
+        session's arrival cursor builds request and first job together
+        when the arrival is processed, so peak live objects track
+        in-flight requests rather than stream length.
+        """
+        spec = request.spec
+        return cls(
+            request=request,
+            stage_index=0,
+            expert_id=spec.realized_pipeline[0],
+            enqueue_ms=spec.arrival_ms,
+        )
+
     @property
     def request_id(self) -> int:
         return self.request.request_id

@@ -50,6 +50,11 @@ class SimulationResult:
     executors: Tuple[ExecutorSummary, ...]
     requests: Tuple[SimRequest, ...] = field(repr=False, default=())
     scheduling_decisions: int = 0
+    #: True when the run stopped early (e.g. an SLO monitor proved the
+    #: target unreachable); ``num_requests`` then counts the requests
+    #: that completed before the stop, and ``abort_reason`` says why.
+    aborted: bool = False
+    abort_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Headline metrics

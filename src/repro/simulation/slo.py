@@ -80,6 +80,14 @@ class SLOMonitor(SimObserver):
         # A monitor may be reused across sessions: counters are
         # per-session state and an inferred population must track the
         # new stream's size (an explicitly given one is kept).
+        if self.metric == "service" and not session.simulation.options.keep_stage_records:
+            # total_service_ms sums per-stage records; without them every
+            # completion would report 0 ms and the monitor would silently
+            # never trigger.
+            raise ValueError(
+                "SLOMonitor(metric='service') needs per-stage records: "
+                "the session was built with keep_stage_records=False"
+            )
         self._session = session
         self.violations = 0
         self.observed = 0

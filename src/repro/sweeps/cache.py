@@ -34,7 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Bump when the cached payload layout (or anything influencing results
 #: that is not captured by the settings fingerprint) changes.
-CACHE_FORMAT_VERSION = 1
+#: 2: ``SimulationResult`` grew ``aborted``/``abort_reason`` (sweep-level
+#: early aborts); entries pickled under the old layout must miss.
+CACHE_FORMAT_VERSION = 2
 
 #: Settings fields that only *select* which cells a grid contains; a
 #: cell's simulated result depends on its own (system, device, task,

@@ -68,3 +68,20 @@ class SweepResults:
 
     def items(self) -> Iterator[Tuple[CellKey, SimulationResult]]:
         return iter(self._by_key.items())
+
+    # ------------------------------------------------------------------
+    # Early-abort markers
+    # ------------------------------------------------------------------
+    def is_aborted(self, cell: SweepCell) -> bool:
+        """Whether the cell's stored run stopped early (e.g. SLO abort)."""
+        return self[cell].aborted
+
+    def aborted_keys(self) -> List[CellKey]:
+        """Keys of every stored cell whose run stopped early.
+
+        Sweep-level early aborts (cells declaring ``slo_target_ms``)
+        store the partial result of the violated run; this surfaces
+        them so harnesses and reports can separate doomed cells from
+        completed ones.
+        """
+        return [key for key, result in self._by_key.items() if result.aborted]

@@ -46,9 +46,21 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.experiments.base import EvaluationContext, EvaluationSettings
 from repro.serving.factory import build_system
 from repro.simulation.results import SimulationResult
+from repro.simulation.session import SimulationAborted
+from repro.simulation.slo import SLOMonitor
 from repro.sweeps.cache import SweepCache
 from repro.sweeps.results import SweepResults
 from repro.sweeps.spec import SweepCell, SweepGrid
+
+#: Cell overrides consumed by the runner itself rather than passed to
+#: ``build_system``: an SLO target turns the cell into an early-abort
+#: run (an :class:`~repro.simulation.slo.SLOMonitor` stops it at the
+#: provable violation point, and the stored result is flagged
+#: ``aborted``).  They stay part of the cell *identity* — an SLO cell
+#: and its unconstrained twin are different simulations.
+#: ``execute_cell`` pops exactly these keys; omitted ones fall back to
+#: the :class:`SLOMonitor` constructor defaults.
+SLO_OVERRIDE_KEYS = ("slo_target_ms", "slo_percentile", "slo_metric")
 
 
 def execute_cell(
@@ -61,7 +73,23 @@ def execute_cell(
     are dropped unless ``keep_requests`` — figures aggregate whole-run
     metrics, and dropping them keeps results cheap to pickle back from
     worker processes.
+
+    Cells whose overrides declare ``slo_target_ms`` (optionally
+    ``slo_percentile``, default 99, and ``slo_metric``, default
+    ``"end_to_end"``) run under an SLO monitor: a doomed cell stops at
+    the violation point instead of simulating to completion and its
+    result carries ``aborted=True`` with the violation as the reason —
+    the sweep-level early-abort path.
     """
+    overrides = cell.override_dict()
+    slo = {key: overrides.pop(key, None) for key in SLO_OVERRIDE_KEYS}
+    slo_target_ms = slo["slo_target_ms"]
+    if slo_target_ms is None and any(value is not None for value in slo.values()):
+        given = sorted(key for key, value in slo.items() if value is not None)
+        raise ValueError(
+            f"cell {cell.label()} declares SLO overrides {given} "
+            "without slo_target_ms; the monitor would silently not run"
+        )
     device = context.device(cell.device)
     _, model = context.board_and_model(cell.task)
     system = build_system(
@@ -70,9 +98,25 @@ def execute_cell(
         model,
         context.usage_profile(cell.task),
         performance_matrix=context.performance_matrix(cell.device, cell.task),
-        **cell.override_dict(),
+        **overrides,
     )
-    result = system.serve(context.stream(cell.task))
+    stream = context.stream(cell.task)
+    if slo_target_ms is None:
+        result = system.serve(stream)
+    else:
+        # Only forward the keys the cell actually set, so omitted ones
+        # take the monitor's own defaults (one source of truth).
+        monitor_kwargs = {}
+        if slo["slo_percentile"] is not None:
+            monitor_kwargs["percentile"] = float(slo["slo_percentile"])
+        if slo["slo_metric"] is not None:
+            monitor_kwargs["metric"] = str(slo["slo_metric"])
+        monitor = SLOMonitor(target_ms=float(slo_target_ms), **monitor_kwargs)
+        session = system.session(stream, observers=[monitor])
+        try:
+            result = session.run()
+        except SimulationAborted:
+            result = session.partial_result()
     if not keep_requests and result.requests:
         result = dataclasses.replace(result, requests=())
     return result

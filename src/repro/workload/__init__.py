@@ -22,7 +22,14 @@ from repro.workload.circuit_board import (
     make_board_b,
     build_inspection_model,
 )
-from repro.workload.generator import RequestSpec, RequestStream, generate_request_stream
+from repro.workload.generator import (
+    LazyRequestStream,
+    RequestSpec,
+    RequestStream,
+    RequestStreamLike,
+    generate_request_stream,
+    iter_request_stream,
+)
 from repro.workload.tasks import Task, standard_tasks, task_by_name
 from repro.workload.dataset import SampleDataset, make_sample_dataset
 
@@ -32,9 +39,12 @@ __all__ = [
     "make_board_a",
     "make_board_b",
     "build_inspection_model",
+    "LazyRequestStream",
     "RequestSpec",
     "RequestStream",
+    "RequestStreamLike",
     "generate_request_stream",
+    "iter_request_stream",
     "Task",
     "standard_tasks",
     "task_by_name",

@@ -10,12 +10,29 @@ Each request's *realised* pipeline (whether the detection stage actually
 runs) is pre-sampled with the stream's random seed so that runs are
 deterministic, but serving systems only observe the realised second
 stage after the first stage has executed.
+
+Two materialisation modes share one generation path:
+
+* :func:`generate_request_stream` returns an eager
+  :class:`RequestStream` holding every :class:`RequestSpec` — the right
+  form for the paper's 2.5k–3.5k-request tasks, where reports index
+  into the stream freely.
+* :func:`iter_request_stream` / :meth:`RequestStream.lazy` realise the
+  *same* specs on demand (byte-identical: both paths drive one RNG
+  through the identical call sequence), so a million-request
+  "long production shift" cell never holds the full spec tuple.  A
+  :class:`LazyRequestStream` knows its length and arrival spacing up
+  front and re-generates specs from the seed on every iteration pass.
 """
 
 from __future__ import annotations
 
+import functools
+import itertools
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +83,29 @@ class RequestSpec:
         return len(self.realized_pipeline)
 
 
+#: One pass of derived views: (category counter, sorted experts, stages).
+_StreamViews = Tuple[Counter, Tuple[str, ...], int]
+
+
+def _compute_stream_views(specs) -> _StreamViews:
+    """Derive every aggregate view of a stream in a single pass.
+
+    Repeated metric/report calls want category counts, the distinct
+    expert set and the total stage count; computing all three together
+    means even a lazily generated million-entry stream pays one
+    regeneration pass for the lot, and eager streams one scan ever.
+    """
+    counts: Counter = Counter()
+    experts = set()
+    stages = 0
+    for spec in specs:
+        counts[spec.category] += 1
+        pipeline = spec.realized_pipeline
+        experts.update(pipeline)
+        stages += len(pipeline)
+    return counts, tuple(sorted(experts)), stages
+
+
 @dataclass(frozen=True)
 class RequestStream:
     """A fully materialised request arrival stream."""
@@ -101,22 +141,133 @@ class RequestStream:
         """Time span between the first and last arrival."""
         return self.requests[-1].arrival_ms - self.requests[0].arrival_ms
 
+    @cached_property
+    def _views(self) -> _StreamViews:
+        # cached_property writes straight into __dict__, which is legal
+        # even on a frozen dataclass; the derived views are pure
+        # functions of the immutable spec tuple.
+        return _compute_stream_views(self.requests)
+
     @property
     def total_stage_count(self) -> int:
         """Total number of expert executions the stream requires."""
-        return sum(request.stage_count for request in self.requests)
+        return self._views[2]
 
     def distinct_experts(self) -> Tuple[str, ...]:
         """All experts used by at least one request, sorted."""
-        used = {expert_id for request in self.requests for expert_id in request.realized_pipeline}
-        return tuple(sorted(used))
+        return self._views[1]
 
     def category_counts(self) -> Dict[str, int]:
         """Number of requests per category."""
-        counts: Dict[str, int] = {}
-        for request in self.requests:
-            counts[request.category] = counts.get(request.category, 0) + 1
-        return counts
+        return dict(self._views[0])
+
+    @staticmethod
+    def lazy(
+        board: CircuitBoard,
+        model: CoEModel,
+        num_requests: int,
+        arrival_interval_ms: float = DEFAULT_ARRIVAL_INTERVAL_MS,
+        seed: int = 0,
+        name: Optional[str] = None,
+        order: str = "scan",
+        active_fraction: float = 1.0,
+    ) -> "LazyRequestStream":
+        """A stream that realises its specs on demand (same RNG path).
+
+        Takes the exact parameters of :func:`generate_request_stream`
+        and yields byte-identical :class:`RequestSpec` sequences, but
+        never holds the full spec tuple: each iteration pass re-derives
+        the specs from the seed.  Use for long production shifts
+        (10⁵–10⁶ requests) where peak memory must track in-flight
+        requests, not stream length.
+        """
+        _validate_stream_args(num_requests, arrival_interval_ms, order, active_fraction)
+        factory = functools.partial(
+            iter_request_stream,
+            board,
+            model,
+            num_requests,
+            arrival_interval_ms=arrival_interval_ms,
+            seed=seed,
+            order=order,
+            active_fraction=active_fraction,
+        )
+        return LazyRequestStream(
+            name=name or f"{board.name}-{num_requests}",
+            num_requests=num_requests,
+            arrival_interval_ms=arrival_interval_ms,
+            board_name=board.name,
+            seed=seed,
+            spec_factory=factory,
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class LazyRequestStream:
+    """A request stream realised on demand from its generation seed.
+
+    Interchangeable with :class:`RequestStream` wherever streaming
+    access suffices (the simulation session, usage profiling, metric
+    reports): it knows its ``len``, name and arrival spacing up front,
+    iterates :class:`RequestSpec` objects in arrival order, and caches
+    the derived aggregate views after one pass.  It does **not** support
+    random access — that is the point: nothing ever holds all N specs.
+
+    Build via :meth:`RequestStream.lazy` (or directly from any callable
+    returning a fresh spec iterator per pass).  Equality is identity
+    (``eq=False``): the metadata fields cannot see into the factory, so
+    field equality would conflate streams generating different specs
+    (eager streams compare their full spec tuples instead).
+    """
+
+    name: str
+    num_requests: int
+    arrival_interval_ms: float
+    board_name: str
+    seed: int
+    spec_factory: Callable[[], Iterator[RequestSpec]] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("a request stream must contain at least one request")
+        if self.arrival_interval_ms <= 0:
+            raise ValueError("arrival_interval_ms must be positive")
+
+    def __len__(self) -> int:
+        return self.num_requests
+
+    def __iter__(self) -> Iterator[RequestSpec]:
+        return iter(self.spec_factory())
+
+    @property
+    def duration_ms(self) -> float:
+        """Time span between the first and last arrival.
+
+        Generated arrivals are uniformly spaced, so the span is known
+        without realising a single spec.
+        """
+        return (self.num_requests - 1) * self.arrival_interval_ms
+
+    @cached_property
+    def _views(self) -> _StreamViews:
+        return _compute_stream_views(self.spec_factory())
+
+    @property
+    def total_stage_count(self) -> int:
+        """Total number of expert executions the stream requires."""
+        return self._views[2]
+
+    def distinct_experts(self) -> Tuple[str, ...]:
+        """All experts used by at least one request, sorted."""
+        return self._views[1]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Number of requests per category."""
+        return dict(self._views[0])
+
+
+#: Anything the engine accepts as a request stream: eager or lazy.
+RequestStreamLike = Union[RequestStream, LazyRequestStream]
 
 
 def _active_components(
@@ -138,26 +289,128 @@ def _active_components(
     return [components[index] for index in indices]
 
 
-def _scan_order_categories(components, num_requests: int) -> List[str]:
-    """Component categories in camera scan order, repeated across passes."""
-    single_pass: List[str] = []
-    for component in components:
-        single_pass.extend([component.name] * component.quantity)
-    categories: List[str] = []
-    while len(categories) < num_requests:
-        categories.extend(single_pass)
-    return categories[:num_requests]
-
-
-def _shuffled_categories(
+def _shuffled_draws(
     components, num_requests: int, rng: np.random.Generator
-) -> List[str]:
-    """Categories drawn i.i.d. from the components' quantity distribution."""
+) -> Tuple[List[str], np.ndarray]:
+    """Category indices drawn i.i.d. from the quantity distribution.
+
+    The draw is one vectorised ``rng.choice`` call: chunking it would
+    advance the RNG differently, so even the lazy path performs this
+    single call up front and holds only the int index array (~8 bytes
+    per request — far lighter than the name list or the specs it
+    stands in for), resolving indices to names as specs are built.
+    """
     names = [component.name for component in components]
     quantities = np.array([component.quantity for component in components], dtype=float)
     probabilities = quantities / quantities.sum()
     draws = rng.choice(len(names), size=num_requests, p=probabilities)
-    return [names[index] for index in draws]
+    return names, draws
+
+
+def _validate_stream_args(
+    num_requests: int, arrival_interval_ms: float, order: str, active_fraction: float
+) -> None:
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if arrival_interval_ms <= 0:
+        raise ValueError("arrival_interval_ms must be positive")
+    if order not in ("scan", "shuffled"):
+        raise ValueError(f"unknown order '{order}' (expected 'scan' or 'shuffled')")
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError("active_fraction must be in (0, 1]")
+
+
+def iter_request_stream(
+    board: CircuitBoard,
+    model: CoEModel,
+    num_requests: int,
+    arrival_interval_ms: float = DEFAULT_ARRIVAL_INTERVAL_MS,
+    seed: int = 0,
+    order: str = "scan",
+    active_fraction: float = 1.0,
+) -> Iterator[RequestSpec]:
+    """Yield the stream's :class:`RequestSpec`\\ s one at a time.
+
+    Byte-identical to :func:`generate_request_stream` with the same
+    parameters — both paths seed one ``np.random.default_rng(seed)``
+    and drive it through the identical call sequence (active-component
+    subset, one category draw when shuffled, one ``router.resolve`` per
+    request) — but only ever holds the spec being yielded.  Arguments
+    are validated eagerly, before the first spec is requested.
+    """
+    _validate_stream_args(num_requests, arrival_interval_ms, order, active_fraction)
+    return itertools.chain.from_iterable(
+        _generate_spec_chunks(
+            board, model, num_requests, arrival_interval_ms, seed, order, active_fraction
+        )
+    )
+
+
+#: Specs generated per chunk by the streaming path.  Chunking amortises
+#: the generator suspension over thousands of specs (the consumer pulls
+#: single specs out of plain list iterators at C speed) while keeping
+#: peak memory at one chunk, far below the stream.
+_SPEC_CHUNK_SIZE = 4096
+
+
+def _generate_spec_chunks(
+    board: CircuitBoard,
+    model: CoEModel,
+    num_requests: int,
+    arrival_interval_ms: float,
+    seed: int,
+    order: str,
+    active_fraction: float,
+) -> Iterator[List[RequestSpec]]:
+    rng = np.random.default_rng(seed)
+    components = _active_components(board, active_fraction, rng)
+    resolve = model.router.resolve
+    make_spec = RequestSpec
+    chunk: List[RequestSpec] = []
+    emit = chunk.append
+    if order == "scan":
+        # Scan order consumes no randomness for the categories, so the
+        # cycle is inlined; the RNG call sequence (one resolve per
+        # request, in request order) is identical to the eager path.
+        single_pass: List[str] = []
+        for component in components:
+            single_pass.extend([component.name] * component.quantity)
+        request_id = 0
+        while request_id < num_requests:
+            for category in single_pass:
+                if request_id >= num_requests:
+                    break
+                emit(
+                    make_spec(
+                        request_id,
+                        request_id * arrival_interval_ms,
+                        category,
+                        resolve(category, rng),
+                    )
+                )
+                request_id += 1
+                if len(chunk) >= _SPEC_CHUNK_SIZE:
+                    yield chunk
+                    chunk = []
+                    emit = chunk.append
+    else:
+        names, draws = _shuffled_draws(components, num_requests, rng)
+        for request_id, index in enumerate(draws):
+            category = names[index]
+            emit(
+                make_spec(
+                    request_id,
+                    request_id * arrival_interval_ms,
+                    category,
+                    resolve(category, rng),
+                )
+            )
+            if len(chunk) >= _SPEC_CHUNK_SIZE:
+                yield chunk
+                chunk = []
+                emit = chunk.append
+    if chunk:
+        yield chunk
 
 
 def generate_request_stream(
@@ -192,34 +445,20 @@ def generate_request_stream(
         Fraction of the board's component types inspected by this
         production run (1.0 = every type appears in the stream).
     """
-    if num_requests <= 0:
-        raise ValueError("num_requests must be positive")
-    if order not in ("scan", "shuffled"):
-        raise ValueError(f"unknown order '{order}' (expected 'scan' or 'shuffled')")
-    if not 0.0 < active_fraction <= 1.0:
-        raise ValueError("active_fraction must be in (0, 1]")
-
-    rng = np.random.default_rng(seed)
-    components = _active_components(board, active_fraction, rng)
-    if order == "scan":
-        categories = _scan_order_categories(components, num_requests)
-    else:
-        categories = _shuffled_categories(components, num_requests, rng)
-
-    requests = []
-    for request_id, category in enumerate(categories):
-        realized = model.router.resolve(category, rng)
-        requests.append(
-            RequestSpec(
-                request_id=request_id,
-                arrival_ms=request_id * arrival_interval_ms,
-                category=category,
-                realized_pipeline=realized,
-            )
+    requests = tuple(
+        iter_request_stream(
+            board,
+            model,
+            num_requests,
+            arrival_interval_ms=arrival_interval_ms,
+            seed=seed,
+            order=order,
+            active_fraction=active_fraction,
         )
+    )
     return RequestStream(
         name=name or f"{board.name}-{num_requests}",
-        requests=tuple(requests),
+        requests=requests,
         arrival_interval_ms=arrival_interval_ms,
         board_name=board.name,
         seed=seed,

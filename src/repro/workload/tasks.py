@@ -23,6 +23,7 @@ from repro.workload.circuit_board import (
 from repro.workload.generator import (
     DEFAULT_ARRIVAL_INTERVAL_MS,
     RequestStream,
+    RequestStreamLike,
     generate_request_stream,
 )
 
@@ -68,15 +69,30 @@ class Task:
         model: Optional[CoEModel] = None,
         num_requests: Optional[int] = None,
         seed: Optional[int] = None,
-    ) -> RequestStream:
+        streaming: bool = False,
+    ) -> RequestStreamLike:
         """Materialise the task's request arrival stream.
 
         ``seed`` overrides the task's built-in seed (the harness's
         ``--seed`` flag plumbs one global seed through here so a full
         regeneration is reproducible end to end from a single number).
+        ``streaming=True`` returns a :class:`LazyRequestStream` that
+        realises the byte-identical specs on demand instead of holding
+        them all — the form long production shifts (10⁵–10⁶ requests)
+        are served in.
         """
         board = board or self.board()
         model = model or self.model(board)
+        if streaming:
+            return RequestStream.lazy(
+                board=board,
+                model=model,
+                num_requests=num_requests or self.num_requests,
+                arrival_interval_ms=self.arrival_interval_ms,
+                seed=self.seed if seed is None else seed,
+                name=self.name,
+                active_fraction=self.active_fraction,
+            )
         return generate_request_stream(
             board=board,
             model=model,

@@ -170,6 +170,60 @@ class TestSweepRunner:
             SweepRunner(context=tiny_context, jobs=2)
 
 
+class TestSweepEarlyAbort:
+    """Cells declaring an SLO target stop at the provable violation point."""
+
+    DOOMED = dict(slo_target_ms=0.5, slo_percentile=50.0)
+
+    def test_doomed_cell_aborts_early_and_is_marked(self, tiny_context):
+        full = execute_cell(tiny_context, SweepCell.make("coserve", "numa", "A1"))
+        doomed_cell = SweepCell.make("coserve", "numa", "A1", **self.DOOMED)
+        doomed = execute_cell(tiny_context, doomed_cell)
+        assert not full.aborted and full.abort_reason is None
+        assert doomed.aborted
+        assert "provably violated" in doomed.abort_reason
+        # num_requests counts completions before the stop — strictly
+        # fewer than the full run served.
+        assert 0 < doomed.num_requests < full.num_requests
+
+    def test_achievable_slo_cell_runs_to_completion(self, tiny_context):
+        relaxed = SweepCell.make("coserve", "numa", "A1", slo_target_ms=1e12)
+        plain = SweepCell.make("coserve", "numa", "A1")
+        assert execute_cell(tiny_context, relaxed) == execute_cell(tiny_context, plain)
+
+    def test_results_store_surfaces_aborted_cells(self, tiny_context):
+        grid = SweepGrid(
+            cells=(
+                SweepCell.make("coserve", "numa", "A1"),
+                SweepCell.make("coserve", "numa", "A1", **self.DOOMED),
+            )
+        )
+        results = SweepRunner(context=tiny_context).run(grid)
+        doomed_cell = grid.cells[1]
+        assert results.is_aborted(doomed_cell)
+        assert not results.is_aborted(grid.cells[0])
+        assert results.aborted_keys() == [doomed_cell.key]
+
+    def test_slo_parameters_without_target_are_rejected(self, tiny_context):
+        orphan = SweepCell.make("coserve", "numa", "A1", slo_percentile=50.0)
+        with pytest.raises(ValueError, match="without slo_target_ms"):
+            execute_cell(tiny_context, orphan)
+
+    def test_slo_identity_distinguishes_cells(self):
+        plain = SweepCell.make("coserve", "numa", "A1")
+        slo = SweepCell.make("coserve", "numa", "A1", **self.DOOMED)
+        assert plain.key != slo.key  # an SLO cell is a different simulation
+
+    def test_aborted_result_roundtrips_through_cache(self, tiny_context, tmp_path):
+        cell = SweepCell.make("coserve", "numa", "A1", **self.DOOMED)
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        runner = SweepRunner(context=tiny_context, cache=cache)
+        first = runner.run(SweepGrid.single(cell))[cell]
+        reloaded = SweepCache(str(tmp_path), TINY_SETTINGS).load(cell)
+        assert reloaded == first
+        assert reloaded.aborted
+
+
 class TestRunIter:
     """run_iter streams (cell, result) pairs; run() is a drain over it."""
 
