@@ -1,12 +1,14 @@
-"""Machine-readable benchmark results (``BENCH_engine.json``).
+"""Machine-readable benchmark results (``BENCH_*.json``).
 
-Every engine benchmark records its measured numbers here so the perf
-trajectory is comparable across PRs without scraping pytest output: the
-CI workflow runs the engine benchmarks and the resulting
-``BENCH_engine.json`` (one JSON object per benchmark name, merged
-across the run) is printed/uploaded on every push.
+Every benchmark records its measured numbers here so the perf
+trajectory is comparable across PRs without scraping pytest output:
+engine benchmarks land in ``BENCH_engine.json``, sweep-runner
+benchmarks in ``BENCH_sweeps.json`` (one JSON object per benchmark
+name, merged across the run).  The CI workflow runs the benchmarks and
+prints/uploads both files on every push; ``docs/performance.md``
+explains how to read them.
 
-The file is rewritten atomically (temp file + ``os.replace``) and
+Each file is rewritten atomically (temp file + ``os.replace``) and
 merge-updated, so benchmarks running in any order — or a partial rerun
 of a single benchmark — leave a consistent document.
 """
@@ -22,14 +24,21 @@ from typing import Dict
 #: Written at the repository root (the directory pytest runs from).
 BENCH_RESULTS_FILE = "BENCH_engine.json"
 
+#: Sweep-runner benchmarks (parallel + distributed executor timings).
+BENCH_SWEEPS_FILE = "BENCH_sweeps.json"
 
-def record_bench_result(name: str, payload: Dict[str, object]) -> None:
-    """Merge one benchmark's measurements into ``BENCH_engine.json``.
+
+def record_bench_result(
+    name: str, payload: Dict[str, object], path: str = BENCH_RESULTS_FILE
+) -> None:
+    """Merge one benchmark's measurements into a ``BENCH_*.json`` file.
 
     ``payload`` must be JSON-serialisable; a UTC timestamp is stamped
-    onto each entry so stale numbers are recognisable.
+    onto each entry so stale numbers are recognisable.  ``path``
+    defaults to the engine results file — sweep benchmarks pass
+    :data:`BENCH_SWEEPS_FILE`.
     """
-    path = os.path.abspath(BENCH_RESULTS_FILE)
+    path = os.path.abspath(path)
     document: Dict[str, object] = {}
     try:
         with open(path, "r", encoding="utf-8") as handle:

@@ -1,16 +1,23 @@
-"""Microbenchmark for the parallel sweep runner.
+"""Microbenchmarks for the parallel and distributed sweep executors.
 
 Executes the unioned serving grid of Figures 13-16 (the multi-figure
 evaluation sweep: comparison + ablation systems on every device/task
-pair) once serially and once across ``JOBS`` worker processes, asserts
-the results are cell-for-cell identical, and asserts the parallel run
-is at least ``MIN_PARALLEL_SPEEDUP``x faster.
+pair) once serially and once across each scale-out backend, asserts the
+results are cell-for-cell identical, and asserts the backend is faster
+than serial where the machine has the cores to show it.  Measured
+numbers are recorded to ``BENCH_sweeps.json`` (see
+``benchmarks/recorder.py``), so the sweep-throughput trajectory is
+machine-readable across PRs alongside ``BENCH_engine.json``.
 
-The grid splits into 8 per-(device, task) batches, so 4 workers each
-profile two pairs and the ideal speedup is ~4x minus pool start-up and
-per-worker profiling; 1.7x leaves ample head-room on a 4-core CI
-runner.  Machines with fewer than ``JOBS`` usable cores skip the check
-(a process pool cannot beat serial execution on one core).
+Process pool: the grid splits into 8 per-(device, task) batches, so 4
+workers each profile two pairs and the ideal speedup is ~4x minus pool
+start-up and per-worker profiling; 1.7x leaves ample head-room on a
+4-core CI runner.  Distributed: 2 localhost ``coserve-sweep-worker``
+processes take half the batches each, so the ideal is ~2x minus worker
+start-up, per-worker profiling and the pickle round-trip; 1.2x is the
+floor on a 4-core machine.  Machines with too few usable cores run the
+correctness half only (a worker fleet cannot beat serial execution on
+one core).
 
 ``COSERVE_BENCH_FULL_SCALE=1`` uses the paper's full request counts.
 """
@@ -22,13 +29,20 @@ import time
 
 import pytest
 
+from recorder import BENCH_SWEEPS_FILE, record_bench_result
 from repro.experiments.base import EvaluationSettings
 from repro.experiments.cli import collect_grid
 from repro.sweeps import SweepRunner
+from repro.sweeps.worker import spawn_local_workers
 
 #: Required wall-clock speedup of the parallel sweep at ``JOBS`` workers.
 MIN_PARALLEL_SPEEDUP = 1.7
 JOBS = 4
+
+#: Required wall-clock speedup of the distributed sweep at 2 localhost
+#: workers (with a coordinator thread alongside, so gate at >= 3 cores).
+MIN_DISTRIBUTED_SPEEDUP = 1.2
+DISTRIBUTED_WORKERS = 2
 
 #: Figures whose grids make up the benchmarked sweep.
 MULTI_FIGURE = ("figure13", "figure14", "figure15", "figure16")
@@ -57,6 +71,35 @@ def sweep_case():
     return settings, grid
 
 
+def _warm_caches() -> None:
+    """Warm OS caches / import state outside the timed regions."""
+    warm = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=100,
+        devices=("numa",),
+        task_names=("A1",),
+    )
+    SweepRunner(settings=warm).run(collect_grid(MULTI_FIGURE, warm))
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(sweep_case):
+    """The timed serial sweep both speedup tests compare against.
+
+    Module-scoped (and lazily built, so it costs nothing when every
+    speedup test is core-skipped): the engine is deterministic, so
+    timing the identical serial sweep once per speedup test would
+    double the most expensive part of the benchmark step for no
+    information.
+    """
+    settings, grid = sweep_case
+    _warm_caches()
+    start = time.perf_counter()
+    results = SweepRunner(settings=settings).run(grid)
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
 def test_parallel_matches_serial_cell_for_cell(sweep_case):
     """Correctness half of the benchmark, runs regardless of core count."""
     settings, grid = sweep_case
@@ -74,25 +117,31 @@ def test_parallel_matches_serial_cell_for_cell(sweep_case):
         assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
 
 
+def test_distributed_matches_serial_cell_for_cell(sweep_case):
+    """Distributed correctness at small scale, runs regardless of cores."""
+    settings, _ = sweep_case
+    small = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=300,
+        devices=settings.devices,
+        task_names=("A1", "B1"),
+    )
+    small_grid = collect_grid(MULTI_FIGURE, small)
+    serial = SweepRunner(settings=small).run(small_grid)
+    with spawn_local_workers(DISTRIBUTED_WORKERS) as pool:
+        distributed = SweepRunner(settings=small, hosts=pool.hosts).run(small_grid)
+    assert len(serial) == len(distributed) == len(small_grid)
+    for cell in small_grid:
+        assert serial[cell] == distributed[cell], f"cell {cell.label()} diverged"
+
+
 @pytest.mark.skipif(
     _usable_cores() < JOBS,
     reason=f"parallel speedup needs >= {JOBS} usable cores",
 )
-def test_parallel_sweep_speedup(sweep_case):
+def test_parallel_sweep_speedup(sweep_case, serial_baseline):
     settings, grid = sweep_case
-
-    # Warm OS caches / import state outside the timed regions.
-    warm = EvaluationSettings(
-        full_scale=False,
-        reduced_requests=100,
-        devices=("numa",),
-        task_names=("A1",),
-    )
-    SweepRunner(settings=warm).run(collect_grid(MULTI_FIGURE, warm))
-
-    start = time.perf_counter()
-    serial = SweepRunner(settings=settings).run(grid)
-    serial_elapsed = time.perf_counter() - start
+    serial, serial_elapsed = serial_baseline
 
     start = time.perf_counter()
     parallel = SweepRunner(settings=settings, jobs=JOBS).run(grid)
@@ -107,7 +156,67 @@ def test_parallel_sweep_speedup(sweep_case):
         f"{JOBS} workers {parallel_elapsed:.2f}s, speedup {speedup:.2f}x "
         f"({len(grid)} cells)"
     )
+    record_bench_result(
+        "sweep_process_pool",
+        {
+            "cells": len(grid),
+            "jobs": JOBS,
+            "serial_seconds": round(serial_elapsed, 3),
+            "parallel_seconds": round(parallel_elapsed, 3),
+            "speedup": round(speedup, 3),
+            "min_speedup_asserted": MIN_PARALLEL_SPEEDUP,
+        },
+        path=BENCH_SWEEPS_FILE,
+    )
     assert speedup >= MIN_PARALLEL_SPEEDUP, (
         f"parallel sweep speedup regressed: {speedup:.2f}x < {MIN_PARALLEL_SPEEDUP}x "
         f"(serial {serial_elapsed:.2f}s, parallel {parallel_elapsed:.2f}s at {JOBS} workers)"
+    )
+
+
+@pytest.mark.skipif(
+    _usable_cores() < DISTRIBUTED_WORKERS + 1,
+    reason=f"distributed speedup needs >= {DISTRIBUTED_WORKERS + 1} usable cores",
+)
+def test_distributed_sweep_speedup(sweep_case, serial_baseline):
+    """The ISSUE's distributed benchmark: 2 localhost workers vs serial.
+
+    Worker spawn/connect time is *included* in the distributed timing —
+    that is the cost a user actually pays for ``--hosts`` on a cold
+    fleet — so the recorded numbers stay honest about coordination
+    overhead.
+    """
+    settings, grid = sweep_case
+    serial, serial_elapsed = serial_baseline
+
+    start = time.perf_counter()
+    with spawn_local_workers(DISTRIBUTED_WORKERS) as pool:
+        distributed = SweepRunner(settings=settings, hosts=pool.hosts).run(grid)
+    distributed_elapsed = time.perf_counter() - start
+
+    for cell in grid:
+        assert serial[cell] == distributed[cell], f"cell {cell.label()} diverged"
+
+    speedup = serial_elapsed / distributed_elapsed
+    print(
+        f"\nsweep runner: serial {serial_elapsed:.2f}s, "
+        f"{DISTRIBUTED_WORKERS} localhost sweep workers {distributed_elapsed:.2f}s, "
+        f"speedup {speedup:.2f}x ({len(grid)} cells)"
+    )
+    record_bench_result(
+        "sweep_distributed",
+        {
+            "cells": len(grid),
+            "workers": DISTRIBUTED_WORKERS,
+            "serial_seconds": round(serial_elapsed, 3),
+            "distributed_seconds": round(distributed_elapsed, 3),
+            "speedup": round(speedup, 3),
+            "min_speedup_asserted": MIN_DISTRIBUTED_SPEEDUP,
+        },
+        path=BENCH_SWEEPS_FILE,
+    )
+    assert speedup >= MIN_DISTRIBUTED_SPEEDUP, (
+        f"distributed sweep speedup regressed: {speedup:.2f}x < "
+        f"{MIN_DISTRIBUTED_SPEEDUP}x (serial {serial_elapsed:.2f}s, distributed "
+        f"{distributed_elapsed:.2f}s at {DISTRIBUTED_WORKERS} workers)"
     )

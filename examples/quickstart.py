@@ -1,13 +1,39 @@
 #!/usr/bin/env python
-"""Quickstart: serve a circuit-board inspection workload with CoServe.
+"""Quickstart: a guided tour of the CoServe reproduction, in seven stops.
 
-This example builds the paper's Circuit Board A inspection CoE model
-(352 dedicated classification experts plus shared detection experts,
-~66 GB of weights), deploys it on the simulated NUMA edge device
-(RTX 3080Ti + Xeon, Table 1), and compares CoServe against the
-Samba-CoE baseline on a short burst of production traffic.
+Run with::
 
-Run with:  python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
+
+The tour builds the paper's Circuit Board A inspection CoE model (352
+dedicated classification experts plus shared detection experts, ~66 GB
+of weights — far more than the device can hold) and walks the API
+top-down, each stop printing what it did:
+
+1. **The deployment** — the simulated NUMA edge device (RTX 3080Ti +
+   Xeon, Table 1) and the inspection CoE model built from the board.
+2. **The workload** — a production-line request stream, one component
+   image every 4 ms in camera-scan order.
+3. **Serving** — the same stream through the Samba-CoE baseline and
+   CoServe; throughput, expert switches and SSD loads side by side
+   (the paper's headline comparison, Figure 13, in miniature).
+4. **Sessions** — the engine's primary API: a steppable
+   ``SimulationSession`` with a custom observer, advancing virtual time
+   in slices and reading live state between steps.  ``serve()`` is just
+   ``session(...).run()`` with the built-in metrics observer.
+5. **SLO monitoring** — an observer aborting a doomed run the moment a
+   latency-percentile target is provably violated.
+6. **Sweeps** — declaring a (system, device, task) grid and letting
+   ``SweepRunner`` execute it across worker processes; the same grid
+   can shard across machines (``hosts=...`` / ``--hosts``).
+7. **Million-request shifts** — a streamed workload served with request
+   records disabled, so peak memory tracks the few hundred in-flight
+   requests instead of the shift length.
+
+Where to next: ``docs/README.md`` indexes the full documentation —
+``docs/ARCHITECTURE.md`` for the layer map and its invariants,
+``docs/sweeps.md`` for executor selection, caching and the multi-host
+walkthrough, ``docs/performance.md`` for the measured perf trajectory.
 """
 
 from repro.experiments.base import EvaluationSettings
@@ -106,12 +132,15 @@ def main() -> None:
 
     # 6. Sweeps: declare a grid of (system, device, task) cells and let the
     #    runner execute it — pass jobs=N to fan it out over N worker
-    #    processes (identical results, less wall-clock time), iterate
-    #    run_iter() for streaming results, or point SweepCache at a
-    #    directory to skip already-simulated cells.  The CLI exposes the
-    #    same machinery:
+    #    processes, or hosts=["hostA:7071", ...] to shard it across
+    #    coserve-sweep-worker processes on other machines (rows are
+    #    byte-identical whichever backend runs; docs/sweeps.md has the
+    #    multi-host walkthrough).  Iterate run_iter() for streaming
+    #    results, or point SweepCache at a directory to skip
+    #    already-simulated cells.  The CLI exposes the same machinery:
     #
     #        coserve-experiments --all --jobs 4 --progress
+    #        coserve-experiments --all --hosts hostA:7071,hostB:7071
     #        coserve-experiments figure13 --format json --output results/
     #        coserve-experiments --all --seed 7 --cache ~/.cache/coserve-sweeps
     grid = SweepGrid.product(

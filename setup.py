@@ -1,10 +1,37 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging for the CoServe reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file only exists
-so that ``pip install -e . --no-use-pep517`` (legacy editable install)
-works on offline machines that lack the ``wheel`` build backend.
+Kept as a plain ``setup.py`` (no build-backend requirements) so the
+legacy editable install works on offline machines that lack the
+``wheel`` package::
+
+    pip install -e . --no-use-pep517
+
+Console scripts:
+
+- ``coserve-experiments`` — regenerate the paper's tables and figures
+  (serial, ``--jobs N`` process-pool, or ``--hosts`` distributed).
+- ``coserve-sweep-worker`` — one per host of a distributed sweep; see
+  ``docs/sweeps.md`` for the walkthrough.
+
+The test/benchmark suites run straight off the tree instead
+(``PYTHONPATH=src python -m pytest``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="coserve-repro",
+    version="0.5.0",
+    description="Reproduction of CoServe (ASPLOS 2025): expert-serving simulation, "
+    "experiments, and distributed sweep infrastructure",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "coserve-experiments=repro.experiments.cli:main",
+            "coserve-sweep-worker=repro.sweeps.worker:main",
+        ]
+    },
+)

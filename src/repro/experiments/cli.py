@@ -24,13 +24,20 @@ on-disk cell cache (a second identical invocation simulates nothing)::
 
     coserve-experiments --all --progress --seed 7 --cache ~/.cache/coserve-sweeps
 
+Shard the sweep across worker hosts (start one ``coserve-sweep-worker``
+per host first; ``docs/sweeps.md`` walks through it)::
+
+    coserve-experiments --all --hosts hostA:7071,hostB:7071
+
 Before any experiment runs, the CLI unions the sweep grids declared by
 the selected experiments and executes the deduplicated union once (with
-``--jobs N`` the grid is spread over N worker processes); each figure
-then assembles its rows from the shared results, so cells required by
+``--jobs N`` the grid is spread over N worker processes; with
+``--hosts`` it is leased out to the worker hosts); each figure then
+assembles its rows from the shared results, so cells required by
 several figures are simulated exactly once per invocation.  With
 ``--cache DIR`` they are simulated at most once per *settings
-fingerprint*, across invocations and processes.
+fingerprint*, across invocations and processes.  Rows are byte-identical
+whichever execution backend ran the sweep.
 """
 
 from __future__ import annotations
@@ -44,7 +51,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import EXPERIMENT_GRIDS, EXPERIMENTS
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
-from repro.sweeps import SweepCache, SweepGrid, SweepResults, SweepRunner
+from repro.sweeps import SweepCache, SweepGrid, SweepResults, SweepRunner, parse_hosts
 
 #: File suffix per output format.
 _FORMAT_SUFFIX = {"table": "txt", "json": "json", "csv": "csv"}
@@ -96,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="Worker processes for the serving sweep (default: 1 = in-process). "
         "Rows are identical to a serial run; only wall-clock time changes.",
+    )
+    parser.add_argument(
+        "--hosts",
+        metavar="HOST:PORT,...",
+        default=None,
+        help="Distribute the sweep across running coserve-sweep-worker "
+        "processes at these addresses instead of local worker processes "
+        "(mutually exclusive with --jobs). Rows are identical to a serial "
+        "run; a dead worker's cells are re-leased to the survivors.",
     )
     parser.add_argument(
         "--seed",
@@ -155,23 +171,33 @@ def run_experiments(
     experiment_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
     cache_dir: Optional[str] = None,
     progress: bool = False,
+    hosts: Optional[Sequence[str]] = None,
 ) -> List[Tuple[str, ExperimentResult, float]]:
     """Run experiments over one shared sweep execution.
 
     Returns ``(name, result, seconds)`` triples in input order.  This is
     the programmatic equivalent of the CLI (and what the determinism
     tests drive): the unioned grid runs once — across ``jobs`` worker
-    processes when ``jobs > 1`` — and every experiment reads from the
-    same result store.  ``experiment_kwargs`` optionally forwards extra
-    keyword arguments to individual run functions (e.g. a smaller
-    ``sample_size`` for the offline-tuning figures).  ``cache_dir``
-    backs the sweep with an on-disk cell cache; ``progress`` streams
-    live cell/row counts to stderr via the runner's ``run_iter``.
+    processes when ``jobs > 1``, or leased out to the
+    ``coserve-sweep-worker`` addresses in ``hosts`` — and every
+    experiment reads from the same result store, so rows are
+    byte-identical whichever backend executed the cells.
+    ``experiment_kwargs`` optionally forwards extra keyword arguments to
+    individual run functions (e.g. a smaller ``sample_size`` for the
+    offline-tuning figures).  ``cache_dir`` backs the sweep with an
+    on-disk cell cache; ``progress`` streams live cell/row counts to
+    stderr via the runner's ``run_iter``.
     """
     context = EvaluationContext(settings)
     grid = collect_grid(names, settings)
     cache = SweepCache(cache_dir, settings) if cache_dir else None
-    if jobs > 1:
+    if hosts is not None:
+        # jobs is forwarded so a conflicting jobs>1 raises the runner's
+        # mutual-exclusion error instead of being silently dropped, and
+        # an *empty* hosts value is rejected loudly by the runner rather
+        # than falling back to a serial sweep.
+        runner = SweepRunner(settings=settings, jobs=jobs, hosts=hosts, cache=cache)
+    elif jobs > 1:
         runner = SweepRunner(settings=settings, jobs=jobs, cache=cache)
     else:
         runner = SweepRunner(context=context, cache=cache)
@@ -211,6 +237,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         names = sorted(EXPERIMENTS)
     if arguments.jobs < 1:
         parser.error("--jobs must be a positive integer")
+    if arguments.hosts and arguments.jobs > 1:
+        parser.error(
+            "--jobs and --hosts are mutually exclusive: the sweep either fans "
+            "out over local processes or over worker hosts"
+        )
+    if arguments.hosts is not None:
+        try:
+            parse_hosts(arguments.hosts)
+        except ValueError as exc:
+            # Surface malformed addresses as a usage error, not a
+            # traceback from deep inside the sweep.
+            parser.error(f"--hosts: {exc}")
 
     settings = EvaluationSettings(
         full_scale=arguments.full_scale,
@@ -227,6 +265,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=arguments.jobs,
         cache_dir=arguments.cache,
         progress=arguments.progress,
+        hosts=arguments.hosts,
     )
     total_elapsed = time.perf_counter() - start
     grid_size = len(collect_grid(names, settings))
@@ -258,8 +297,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if arguments.format == "table":
                 print()
             notice(f"[{name}: rows assembled in {elapsed:.1f}s]")
+    backend = f"hosts={arguments.hosts}" if arguments.hosts else f"jobs={arguments.jobs}"
     notice(
-        f"[{len(names)} experiment(s), {grid_size} unique sweep cell(s), jobs={arguments.jobs}: "
+        f"[{len(names)} experiment(s), {grid_size} unique sweep cell(s), {backend}: "
         f"sweep {max(total_elapsed - assembly_elapsed, 0.0):.1f}s "
         f"+ row assembly {assembly_elapsed:.1f}s = {total_elapsed:.1f}s]"
     )

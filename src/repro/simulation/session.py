@@ -396,18 +396,22 @@ class SimulationSession:
     # ------------------------------------------------------------------
     @property
     def total_requests(self) -> int:
+        """Length of the request stream this session serves."""
         return self._total_requests
 
     @property
     def is_finished(self) -> bool:
+        """Whether the session finalised (drained its stream, or aborted)."""
         return self._finished
 
     @property
     def aborted(self) -> bool:
+        """Whether the session stopped early via :meth:`abort`."""
         return self._aborted
 
     @property
     def abort_reason(self) -> Optional[str]:
+        """The first reason passed to :meth:`abort`, or None while healthy."""
         return self._abort_reason
 
     @property
@@ -433,6 +437,7 @@ class SimulationSession:
 
     @property
     def observers(self) -> Tuple[object, ...]:
+        """The currently subscribed observers, in attach order."""
         return tuple(self._observers)
 
     @property

@@ -62,6 +62,13 @@ def settings_fingerprint(settings: "EvaluationSettings") -> str:
 class SweepCache:
     """A directory of sweep-cell results keyed by identity + settings.
 
+    The cache doubles as the *shared result store* of distributed
+    sweeps: when the coordinator and its ``coserve-sweep-worker``
+    processes see the same directory (localhost workers, or a shared
+    filesystem), workers write each executed cell and the coordinator —
+    like any later regeneration — verifies entries on load, so a torn,
+    corrupt or foreign file degrades to a miss, never a wrong row.
+
     Parameters
     ----------
     directory:
@@ -70,11 +77,24 @@ class SweepCache:
         The evaluation settings of the sweep.  Cells simulated under
         different settings never collide — the fingerprint is part of
         every key.
+    fingerprint:
+        Precomputed settings fingerprint, instead of ``settings``.  The
+        distributed coordinator sends workers its own fingerprint so
+        every participant keys the shared store byte-identically, even
+        across interpreter versions that might serialise settings
+        differently.
     """
 
-    def __init__(self, directory: str, settings: "EvaluationSettings") -> None:
+    def __init__(
+        self,
+        directory: str,
+        settings: Optional["EvaluationSettings"] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        if (settings is None) == (fingerprint is None):
+            raise ValueError("pass exactly one of settings or fingerprint")
         self.directory = str(directory)
-        self.fingerprint = settings_fingerprint(settings)
+        self.fingerprint = fingerprint if fingerprint is not None else settings_fingerprint(settings)
         os.makedirs(self.directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
@@ -82,13 +102,26 @@ class SweepCache:
 
     # ------------------------------------------------------------------
     def key_for(self, cell: SweepCell) -> str:
+        """The sha256 entry key of a cell (settings fingerprint + identity)."""
         digest = hashlib.sha256()
         digest.update(self.fingerprint.encode("utf-8"))
         digest.update(cell.identity_token().encode("utf-8"))
         return digest.hexdigest()
 
     def path_for(self, cell: SweepCell) -> str:
+        """Absolute path of the cell's entry file inside the cache directory."""
         return os.path.join(self.directory, self.key_for(cell) + ".pkl")
+
+    def has(self, cell: SweepCell) -> bool:
+        """Whether an entry file exists for the cell (without reading it).
+
+        Cheaper than :meth:`load` when the caller only wants to avoid a
+        redundant :meth:`store` — e.g. the distributed coordinator
+        skipping cells its workers already persisted to a shared
+        directory.  Existence does not imply validity; readers still
+        verify on load.
+        """
+        return os.path.exists(self.path_for(cell))
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory) if name.endswith(".pkl"))

@@ -37,6 +37,7 @@ class SweepResults:
         return True
 
     def merge(self, other: "SweepResults") -> None:
+        """Fold another store in; on overlap this store's result wins."""
         for key, result in other._by_key.items():
             self._by_key.setdefault(key, result)
 
@@ -67,6 +68,7 @@ class SweepResults:
         return [cell for cell in grid if cell.key not in self._by_key]
 
     def items(self) -> Iterator[Tuple[CellKey, SimulationResult]]:
+        """Iterate ``(cell key, result)`` pairs in insertion order."""
         return iter(self._by_key.items())
 
     # ------------------------------------------------------------------

@@ -1,49 +1,53 @@
-"""Execute sweep grids, serially or across a process pool.
+"""Execute sweep grids: one runner, three interchangeable executors.
 
-Serial execution runs every cell on one
-:class:`~repro.experiments.base.EvaluationContext`, so boards, CoE
-models, request streams and profiled performance matrices are built
-once and shared — the behaviour the figure modules have always relied
-on.
+:class:`SweepRunner` owns the *policy* of a sweep — which cells still
+need results, how the cache is consulted and filled, how ``(cell,
+result)`` pairs stream back to the caller — while the *mechanics* of
+executing cells live behind the :class:`SweepExecutor` strategy
+interface:
 
-Parallel execution (``jobs > 1``) fans the grid out over a
-``ProcessPoolExecutor``.  Each worker process builds its own
-``EvaluationContext`` once (in the pool initializer) and keeps it for
-its whole lifetime, so a worker rebuilds the board / model / matrix for
-a given (device, task) at most once no matter how many cells it
-executes.  Cells are batched by (device, task) before submission, which
-keeps all cells sharing those expensive artefacts on the same worker;
-when there are more workers than batches, batches are split so the
-extra workers still get work.
+- :class:`SerialExecutor` runs every cell in-process on one
+  :class:`~repro.experiments.base.EvaluationContext`, so boards, CoE
+  models, request streams and profiled performance matrices are built
+  once and shared — the behaviour the figure modules have always relied
+  on.
+- :class:`ProcessPoolExecutor` fans the grid out over a
+  ``concurrent.futures`` process pool (the CLI's ``--jobs N``).  Each
+  worker process builds its own ``EvaluationContext`` once (in the pool
+  initializer) and keeps it for its whole lifetime, so a worker rebuilds
+  the board / model / matrix for a given (device, task) at most once no
+  matter how many cells it executes.
+- :class:`~repro.sweeps.distributed.DistributedExecutor` shards the
+  grid across ``coserve-sweep-worker`` processes on other hosts (the
+  CLI's ``--hosts``), leasing (device, task)-batched cell groups over
+  TCP and re-leasing them if a worker dies.
 
-Results stream: :meth:`SweepRunner.run_iter` yields ``(cell, result)``
-pairs as cells complete — in grid order serially, in completion order
-across workers — which is what the CLI's ``--progress`` reporting and
-any long-regeneration monitoring hang off.  :meth:`SweepRunner.run` is
-the drain-it-all convenience over the iterator.  Because results land
-in a keyed :class:`~repro.sweeps.results.SweepResults` store, rows
-assembled from a serial run, a parallel run and a streamed run are
-byte-identical; only arrival order differs.
+All three yield through the same :meth:`SweepRunner.run_iter` contract:
+``(cell, result)`` pairs as cells complete — in grid order serially, in
+completion order across processes or hosts — which is what the CLI's
+``--progress`` reporting and any long-regeneration monitoring hang off.
+:meth:`SweepRunner.run` is the drain-it-all convenience over the
+iterator.  Because results land in a keyed
+:class:`~repro.sweeps.results.SweepResults` store, rows assembled from
+a serial run, a parallel run and a distributed run are byte-identical;
+only arrival order differs.  Cell execution itself is deterministic
+(the simulator is a seeded discrete-event engine), so this equivalence
+is enforceable — ``tests/test_sweeps.py`` asserts it for every
+registered experiment across all three executors.
 
 With a :class:`~repro.sweeps.cache.SweepCache` attached, cells already
 simulated under the same settings fingerprint are loaded from disk
 (and yielded immediately) instead of re-executed, and every newly
 computed cell is persisted — repeated figure regenerations across
 processes skip all shared work.
-
-Cell execution itself is deterministic (the simulator is a seeded
-discrete-event engine), so serial and parallel runs of the same grid
-produce identical results — ``tests/test_sweeps.py`` enforces this for
-every registered experiment.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from concurrent import futures
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.experiments.base import EvaluationContext, EvaluationSettings
 from repro.serving.factory import build_system
 from repro.simulation.results import SimulationResult
 from repro.simulation.session import SimulationAborted
@@ -51,6 +55,24 @@ from repro.simulation.slo import SLOMonitor
 from repro.sweeps.cache import SweepCache
 from repro.sweeps.results import SweepResults
 from repro.sweeps.spec import SweepCell, SweepGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import EvaluationContext, EvaluationSettings
+
+
+def _experiments_base():
+    """The experiments-layer types, imported lazily.
+
+    ``repro.experiments`` imports ``repro.sweeps`` (every figure module
+    declares a grid), so a module-level import here would close an
+    import cycle and break any entry point that touches ``repro.sweeps``
+    first — the ``coserve-sweep-worker`` console script does exactly
+    that.  Deferring to call time keeps the package import-order
+    independent.
+    """
+    from repro.experiments.base import EvaluationContext, EvaluationSettings
+
+    return EvaluationContext, EvaluationSettings
 
 #: Cell overrides consumed by the runner itself rather than passed to
 #: ``build_system``: an SLO target turns the cell into an early-abort
@@ -68,11 +90,11 @@ def execute_cell(
 ) -> SimulationResult:
     """Run one sweep cell on an evaluation context.
 
-    This is the single serving primitive behind both the runner and the
+    This is the single serving primitive behind every executor and the
     ``EvaluationContext.serve`` compatibility shim.  Per-request records
     are dropped unless ``keep_requests`` — figures aggregate whole-run
     metrics, and dropping them keeps results cheap to pickle back from
-    worker processes.
+    worker processes (local or remote).
 
     Cells whose overrides declare ``slo_target_ms`` (optionally
     ``slo_percentile``, default 99, and ``slo_metric``, default
@@ -122,6 +144,30 @@ def execute_cell(
     return result
 
 
+def batch_cells(cells: Sequence[SweepCell], parts: int) -> List[List[SweepCell]]:
+    """Batch cells by (device, task), splitting when ``parts`` outnumber groups.
+
+    Building the board / CoE model / performance matrix for a (device,
+    task) pair is the expensive part of executing a cell, so keeping one
+    pair per batch means the worker (process or host) executing it
+    profiles that pair exactly once; splitting only happens when the
+    grid has fewer groups than executing parts, trading some duplicated
+    profiling for otherwise-idle workers.
+    """
+    groups: Dict[Tuple[str, str], List[SweepCell]] = {}
+    for cell in cells:
+        groups.setdefault((cell.device, cell.task), []).append(cell)
+    if not groups:
+        return []
+    chunks_per_group = max(1, -(-max(1, parts) // len(groups)))
+    batches: List[List[SweepCell]] = []
+    for group in groups.values():
+        splits = min(len(group), chunks_per_group)
+        size = -(-len(group) // splits)
+        batches.extend(group[i : i + size] for i in range(0, len(group), size))
+    return batches
+
+
 # ----------------------------------------------------------------------
 # Worker-process plumbing.  The context lives in a module global set by
 # the pool initializer, so one build of boards/models/matrices serves
@@ -131,37 +177,142 @@ _WORKER_CONTEXT: Optional[EvaluationContext] = None
 
 
 def _init_worker(settings: EvaluationSettings) -> None:
+    """Process-pool initializer: build this worker's long-lived context."""
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = EvaluationContext(settings)
+    context_cls, _ = _experiments_base()
+    _WORKER_CONTEXT = context_cls(settings)
 
 
 def _run_batch(cells: Sequence[SweepCell]) -> List[Tuple[SweepCell, SimulationResult]]:
+    """Execute one (device, task) batch on the worker's cached context."""
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
     return [(cell, execute_cell(_WORKER_CONTEXT, cell)) for cell in cells]
+
+
+# ----------------------------------------------------------------------
+# Executors: the strategy interface behind SweepRunner.
+# ----------------------------------------------------------------------
+class SweepExecutor:
+    """Strategy interface: *how* a sweep's cells get executed.
+
+    Implementations receive the cells that still need results (the
+    runner already removed present and cached ones) and yield ``(cell,
+    result)`` pairs as they complete.  Every cell must be executed
+    exactly as :func:`execute_cell` would — the byte-identical contract
+    across executors rests on that — but implementations are free to
+    choose ordering, placement and transport.
+    """
+
+    def run_iter(
+        self, cells: Sequence[SweepCell]
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
+        """Execute ``cells``, yielding ``(cell, result)`` as each completes."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (idempotent; default: nothing held)."""
+
+
+class SerialExecutor(SweepExecutor):
+    """Run every cell in-process on one shared evaluation context.
+
+    The context is built lazily on first use (or borrowed from the
+    caller via ``context``) and kept for the executor's lifetime, so
+    repeated ``run_iter`` calls reuse boards, models and matrices.
+    This is the only executor that can keep per-request records
+    (``keep_requests``) — nothing is pickled.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[EvaluationSettings] = None,
+        context: Optional[EvaluationContext] = None,
+        keep_requests: bool = False,
+    ) -> None:
+        if context is not None and settings is None:
+            settings = context.settings
+        self.settings = settings if settings is not None else _experiments_base()[1]()
+        self.keep_requests = keep_requests
+        self._context = context
+
+    def run_iter(
+        self, cells: Sequence[SweepCell]
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
+        """Execute cells one by one, yielding in the given (grid) order."""
+        if self._context is None:
+            self._context = _experiments_base()[0](self.settings)
+        for cell in cells:
+            yield cell, execute_cell(self._context, cell, self.keep_requests)
+
+
+class ProcessPoolExecutor(SweepExecutor):
+    """Fan cells out over a local ``concurrent.futures`` process pool.
+
+    Cells are batched by (device, task) via :func:`batch_cells` before
+    submission, which keeps all cells sharing those expensive artefacts
+    on the same worker; each worker process builds one
+    ``EvaluationContext`` in its initializer and keeps it for its whole
+    lifetime.  Results are yielded in completion order.
+    """
+
+    def __init__(self, settings: Optional[EvaluationSettings] = None, jobs: int = 2) -> None:
+        self.settings = settings if settings is not None else _experiments_base()[1]()
+        self.jobs = max(1, int(jobs))
+
+    def run_iter(
+        self, cells: Sequence[SweepCell]
+    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
+        """Execute cells across the pool, yielding in completion order."""
+        if not cells:
+            return
+        batches = batch_cells(cells, self.jobs)
+        workers = min(self.jobs, len(batches))
+        with futures.ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(self.settings,)
+        ) as pool:
+            submitted = [pool.submit(_run_batch, batch) for batch in batches]
+            for future in futures.as_completed(submitted):
+                yield from future.result()
 
 
 class SweepRunner:
     """Execute a :class:`SweepGrid` and collect :class:`SweepResults`.
 
+    The runner picks an executor from the classic knobs — ``jobs`` for a
+    local process pool, ``hosts`` for the distributed backend — or runs
+    on an explicitly supplied :class:`SweepExecutor`.  Whatever executes
+    the cells, rows assembled from the results are byte-identical.
+
     Parameters
     ----------
     settings:
         Evaluation settings used to build contexts.  Must be picklable
-        when ``jobs > 1`` (workers rebuild their context from it).
+        when cells leave the process (workers rebuild their context
+        from it).
     jobs:
-        Number of worker processes; ``1`` (the default) runs in-process.
+        Number of local worker processes; ``1`` (the default) runs
+        in-process.  Mutually exclusive with ``hosts`` and ``executor``.
     context:
         Optional existing context to run on (serial mode only); lets
         the runner share caches with surrounding code.
     keep_requests:
         Keep per-request records on the results.  Serial mode only —
-        parallel runs always strip them before pickling.
+        parallel and distributed runs always strip them before pickling.
     cache:
         Optional on-disk :class:`~repro.sweeps.cache.SweepCache`.  Cells
         present under the runner's settings fingerprint are loaded
         instead of executed; newly executed cells are persisted.  The
-        cache stores request-stripped results, so it is incompatible
-        with ``keep_requests``.
+        distributed executor additionally shares the cache directory
+        with its workers (workers write, the coordinator
+        verifies-on-load).  The cache stores request-stripped results,
+        so it is incompatible with ``keep_requests``.
+    hosts:
+        Distributed backend: a comma-separated string or sequence of
+        ``HOST:PORT`` addresses of running ``coserve-sweep-worker``
+        processes.  Mutually exclusive with ``jobs > 1``.
+    executor:
+        Escape hatch: run on this pre-built :class:`SweepExecutor`
+        instead of constructing one from ``jobs``/``hosts``.
     """
 
     def __init__(
@@ -171,23 +322,64 @@ class SweepRunner:
         context: Optional[EvaluationContext] = None,
         keep_requests: bool = False,
         cache: Optional[SweepCache] = None,
+        hosts: Optional[Sequence[str]] = None,
+        executor: Optional[SweepExecutor] = None,
     ) -> None:
         if context is not None and settings is None:
             settings = context.settings
-        self.settings = settings or EvaluationSettings()
+        self.settings = settings if settings is not None else _experiments_base()[1]()
         self.jobs = max(1, int(jobs))
         self.keep_requests = keep_requests
-        if keep_requests and self.jobs > 1:
+        # An *empty* hosts value is rejected loudly (by parse_hosts, via
+        # DistributedExecutor) rather than falling back to serial: a
+        # dynamically built host list that resolves empty should never
+        # silently run a multi-hour sweep on the coordinator.
+        distributed = hosts is not None
+        serial = executor is None and not distributed and self.jobs == 1
+        if executor is not None and (self.jobs > 1 or distributed):
+            raise ValueError("pass either an explicit executor or jobs/hosts, not both")
+        if distributed and self.jobs > 1:
+            raise ValueError(
+                "jobs and hosts are mutually exclusive: the sweep either fans "
+                "out over local processes or over worker hosts"
+            )
+        if keep_requests and not serial and not getattr(executor, "keep_requests", False):
+            # An explicit executor that itself keeps requests is fine —
+            # the flag is then a (consistent) statement of intent.
             raise ValueError("keep_requests is only supported for serial (jobs=1) runs")
-        if context is not None and self.jobs > 1:
+        if context is not None and not serial:
             raise ValueError("an existing context can only back a serial (jobs=1) run")
         if keep_requests and cache is not None:
             raise ValueError(
                 "the sweep cache stores request-stripped results and cannot back "
                 "a keep_requests run"
             )
+        if cache is not None and getattr(executor, "keep_requests", False):
+            # The same rule for the executor= escape hatch: caching
+            # request-laden results would poison the fingerprint for
+            # every later stripped run.
+            raise ValueError(
+                "the sweep cache stores request-stripped results and cannot back "
+                "an executor configured with keep_requests"
+            )
         self.cache = cache
-        self._context = context
+        if executor is not None:
+            self._executor = executor
+        elif distributed:
+            from repro.sweeps.distributed import DistributedExecutor
+
+            self._executor = DistributedExecutor(hosts, settings=self.settings, cache=cache)
+        elif self.jobs > 1:
+            self._executor = ProcessPoolExecutor(self.settings, jobs=self.jobs)
+        else:
+            self._executor = SerialExecutor(
+                self.settings, context=context, keep_requests=keep_requests
+            )
+
+    @property
+    def executor(self) -> SweepExecutor:
+        """The executor this runner drives (picked from jobs/hosts, or given)."""
+        return self._executor
 
     # ------------------------------------------------------------------
     def run(self, grid: SweepGrid, results: Optional[SweepResults] = None) -> SweepResults:
@@ -204,13 +396,18 @@ class SweepRunner:
 
         Cells already present in ``results`` are skipped (not yielded);
         cache hits are yielded up front, before any simulation starts.
-        Serial runs yield in grid order; parallel runs yield in
-        completion order.  Every yielded pair has already been added to
-        ``results``, so an abandoned iterator leaves a consistent store
-        containing exactly the cells yielded so far.
+        Serial runs yield in grid order; parallel and distributed runs
+        yield in completion order.  Every yielded pair has already been
+        added to ``results``, so an abandoned iterator leaves a
+        consistent store containing exactly the cells yielded so far.
+        Duplicate deliveries (a distributed worker died after sending
+        results but before acknowledging its lease, so surviving workers
+        re-executed the cells) are idempotent: the first result for a
+        cell key wins and later copies are neither stored nor yielded.
         """
         results = results if results is not None else SweepResults()
         todo = results.missing(grid)
+        repair: set = set()
         if todo and self.cache is not None:
             remaining: List[SweepCell] = []
             for cell in todo:
@@ -219,64 +416,32 @@ class SweepRunner:
                     results.add(cell, cached)
                     yield cell, cached
                 else:
+                    if self.cache.has(cell):
+                        # An entry file exists but failed verification
+                        # (corruption, stale format): remember it so the
+                        # re-executed result overwrites the bad file —
+                        # otherwise it would stay a permanent miss.
+                        repair.add(cell.key)
                     remaining.append(cell)
             todo = remaining
         if not todo:
             return
-        if self.jobs == 1:
-            yield from self._iter_serial(todo, results)
-        else:
-            yield from self._iter_parallel(todo, results)
+        for cell, result in self._executor.run_iter(todo):
+            if results.add(cell, result):
+                # Store unless a (valid-at-preload-time-missing) entry
+                # appeared meanwhile — on a shared-filesystem
+                # distributed sweep the worker just wrote this very
+                # cell, and rewriting identical bytes doubles the cache
+                # I/O of large grids.
+                if self.cache is not None and (
+                    cell.key in repair or not self.cache.has(cell)
+                ):
+                    self.cache.store(cell, result)
+                yield cell, result
 
-    # ------------------------------------------------------------------
-    def _collect(
-        self, cell: SweepCell, result: SimulationResult, results: SweepResults
-    ) -> Tuple[SweepCell, SimulationResult]:
-        if self.cache is not None:
-            self.cache.store(cell, result)
-        results.add(cell, result)
-        return cell, result
-
-    def _iter_serial(
-        self, cells: Sequence[SweepCell], results: SweepResults
-    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
-        if self._context is None:
-            self._context = EvaluationContext(self.settings)
-        for cell in cells:
-            result = execute_cell(self._context, cell, self.keep_requests)
-            yield self._collect(cell, result, results)
-
-    def _iter_parallel(
-        self, cells: Sequence[SweepCell], results: SweepResults
-    ) -> Iterator[Tuple[SweepCell, SimulationResult]]:
-        batches = self._make_batches(cells)
-        workers = min(self.jobs, len(batches))
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(self.settings,)
-        ) as pool:
-            futures = [pool.submit(_run_batch, batch) for batch in batches]
-            for future in as_completed(futures):
-                for cell, result in future.result():
-                    yield self._collect(cell, result, results)
-
-    def _make_batches(self, cells: Sequence[SweepCell]) -> List[List[SweepCell]]:
-        """Batch cells by (device, task), splitting when workers outnumber groups.
-
-        Keeping one (device, task) per batch means the worker executing
-        it profiles that pair exactly once; splitting only happens when
-        the grid has fewer groups than workers, trading some duplicated
-        profiling for otherwise-idle cores.
-        """
-        groups: Dict[Tuple[str, str], List[SweepCell]] = {}
-        for cell in cells:
-            groups.setdefault((cell.device, cell.task), []).append(cell)
-        chunks_per_group = max(1, -(-self.jobs // len(groups)))
-        batches: List[List[SweepCell]] = []
-        for group in groups.values():
-            splits = min(len(group), chunks_per_group)
-            size = -(-len(group) // splits)
-            batches.extend(group[i : i + size] for i in range(0, len(group), size))
-        return batches
+    def close(self) -> None:
+        """Shut the executor down (idempotent); serial runners hold nothing."""
+        self._executor.close()
 
 
 def ensure_results(

@@ -69,9 +69,11 @@ class SweepCell:
         return repr(self.key)
 
     def override_dict(self) -> Dict[str, object]:
+        """The serve-overrides as a plain keyword-argument dict."""
         return dict(self.overrides)
 
     def with_tags(self, tags: Sequence[str]) -> "SweepCell":
+        """The same cell (identical identity) carrying different tags."""
         return SweepCell(self.system, self.device, self.task, self.overrides, tuple(tags))
 
     def label(self) -> str:
@@ -90,10 +92,12 @@ class SweepGrid:
 
     @classmethod
     def empty(cls) -> "SweepGrid":
+        """A grid with no cells (the identity of :meth:`union`)."""
         return cls(())
 
     @classmethod
     def single(cls, cell: SweepCell) -> "SweepGrid":
+        """A one-cell grid (how compatibility shims wrap a lone serve)."""
         return cls((cell,))
 
     @classmethod

@@ -1,0 +1,60 @@
+"""The documentation gate: public names in the documented packages
+must carry docstrings.
+
+CI runs ``tools/check_docstrings.py`` as its own step (so a missing
+docstring fails with a focused report); this test runs the same checker
+under the tier-1 suite so the gate also bites locally, before push.
+The gated surfaces are the ones ``docs/`` leans on most: the whole
+sweep subsystem and the simulation session API.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Paths the documentation suite gates, relative to the repository root.
+GATED_PATHS = ("src/repro/sweeps", "src/repro/simulation/session.py")
+
+
+def test_gated_packages_have_full_public_docstrings():
+    process = subprocess.run(
+        [sys.executable, os.path.join("tools", "check_docstrings.py"), *GATED_PATHS],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert process.returncode == 0, (
+        "public names without docstrings (see docs/README.md for the "
+        f"documentation contract):\n{process.stdout}{process.stderr}"
+    )
+
+
+def test_checker_flags_a_missing_docstring(tmp_path):
+    offender = tmp_path / "offender.py"
+    offender.write_text('"""Module docstring present."""\n\ndef public_function():\n    pass\n')
+    process = subprocess.run(
+        [sys.executable, os.path.join("tools", "check_docstrings.py"), str(offender)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert process.returncode == 1
+    assert "public_function" in process.stdout
+
+
+def test_checker_ignores_private_names(tmp_path):
+    module = tmp_path / "private.py"
+    module.write_text(
+        '"""Module docstring present."""\n\n'
+        "def _helper():\n    pass\n\n"
+        "class _Internal:\n    def method(self):\n        pass\n"
+    )
+    process = subprocess.run(
+        [sys.executable, os.path.join("tools", "check_docstrings.py"), str(module)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert process.returncode == 0, process.stdout

@@ -1,9 +1,13 @@
-"""Tests for the declarative sweep grid and the parallel experiment runner.
+"""Tests for the declarative sweep grid and the pluggable experiment runner.
 
-The determinism class is the contract the ISSUE demands: serial and
-parallel (``jobs=2``) executions of every registered experiment must
-produce row-for-row identical :class:`ExperimentResult` objects, and
-repeated cells must be simulated exactly once.
+The determinism class is the contract the ISSUE demands: serial,
+parallel (``jobs=2``) and distributed (2 localhost
+``coserve-sweep-worker`` processes) executions of every registered
+experiment must produce row-for-row identical
+:class:`ExperimentResult` objects — including ``slo_target_ms``
+early-abort cells — and repeated cells must be simulated exactly once.
+Distributed *failure* modes (worker crashes, duplicate deliveries,
+shutdown draining) live in ``tests/test_distributed_sweeps.py``.
 """
 
 import dataclasses
@@ -24,6 +28,7 @@ from repro.experiments.cli import collect_grid, main as cli_main, run_experiment
 from repro.metrics import MetricsObserver, TimelineObserver
 from repro.serving.factory import build_system
 from repro.sweeps import (
+    SerialExecutor,
     SweepCache,
     SweepCell,
     SweepGrid,
@@ -32,6 +37,7 @@ from repro.sweeps import (
     execute_cell,
     settings_fingerprint,
 )
+from repro.sweeps.worker import spawn_local_workers
 
 #: Small enough that the whole registry runs twice (serial + parallel)
 #: in tens of seconds; A2 included so figure19's override cells exist.
@@ -169,6 +175,22 @@ class TestSweepRunner:
         with pytest.raises(ValueError):
             SweepRunner(context=tiny_context, jobs=2)
 
+    def test_jobs_and_hosts_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SweepRunner(settings=TINY_SETTINGS, jobs=2, hosts=["127.0.0.1:7071"])
+
+    def test_keep_requests_rejected_in_distributed(self):
+        with pytest.raises(ValueError):
+            SweepRunner(settings=TINY_SETTINGS, hosts=["127.0.0.1:7071"], keep_requests=True)
+
+    def test_explicit_executor_excludes_jobs_and_hosts(self):
+        executor = SerialExecutor(TINY_SETTINGS)
+        with pytest.raises(ValueError):
+            SweepRunner(settings=TINY_SETTINGS, executor=executor, jobs=2)
+        with pytest.raises(ValueError):
+            SweepRunner(settings=TINY_SETTINGS, executor=executor, hosts=["127.0.0.1:7071"])
+        assert SweepRunner(settings=TINY_SETTINGS, executor=executor).executor is executor
+
 
 class TestSweepEarlyAbort:
     """Cells declaring an SLO target stop at the provable violation point."""
@@ -222,6 +244,26 @@ class TestSweepEarlyAbort:
         reloaded = SweepCache(str(tmp_path), TINY_SETTINGS).load(cell)
         assert reloaded == first
         assert reloaded.aborted
+
+    def test_aborted_cell_identical_across_all_executors(self):
+        """Abort semantics round-trip byte-identically through the serial,
+        process-pool and distributed executors."""
+        grid = SweepGrid(
+            cells=(
+                SweepCell.make("coserve", "numa", "A1"),
+                SweepCell.make("coserve", "numa", "A1", **self.DOOMED),
+            )
+        )
+        serial = SweepRunner(settings=TINY_SETTINGS).run(grid)
+        parallel = SweepRunner(settings=TINY_SETTINGS, jobs=2).run(grid)
+        with spawn_local_workers(2) as pool:
+            distributed = SweepRunner(settings=TINY_SETTINGS, hosts=pool.hosts).run(grid)
+        doomed = grid.cells[1]
+        for name, results in (("parallel", parallel), ("distributed", distributed)):
+            for cell in grid:
+                assert results[cell] == serial[cell], f"{name} diverged on {cell.label()}"
+            assert results.is_aborted(doomed), f"{name} lost the aborted flag"
+            assert results[doomed].abort_reason == serial[doomed].abort_reason
 
 
 class TestRunIter:
@@ -319,6 +361,20 @@ class TestSweepCache:
         assert cache.load(cell) is None
         assert cache.misses == 1
 
+    def test_corrupt_entry_is_repaired_by_the_next_run(self, tmp_path, tiny_context):
+        """A file that exists but fails verify-on-load must be rewritten
+        by the re-execution — not left to force a miss on every run."""
+        cell = SweepCell.make("coserve-best", "numa", "A1")
+        grid = SweepGrid.single(cell)
+        cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        first = SweepRunner(context=tiny_context, cache=cache).run(grid)[cell]
+        with open(cache.path_for(cell), "wb") as handle:
+            handle.write(b"not a pickle")
+        repaired_cache = SweepCache(str(tmp_path), TINY_SETTINGS)
+        SweepRunner(context=tiny_context, cache=repaired_cache).run(grid)
+        assert repaired_cache.stores == 1, "corrupt entry was not rewritten"
+        assert SweepCache(str(tmp_path), TINY_SETTINGS).load(cell) == first
+
     def test_cache_rejected_with_keep_requests(self, tmp_path):
         cache = SweepCache(str(tmp_path), TINY_SETTINGS)
         with pytest.raises(ValueError):
@@ -376,7 +432,8 @@ class TestObserverEquivalence:
 
 
 class TestDeterminism:
-    """Serial and parallel sweeps must be indistinguishable row-for-row."""
+    """Serial, parallel and distributed sweeps must be indistinguishable
+    row-for-row for every registered experiment."""
 
     @pytest.fixture(scope="class")
     def serial_and_parallel(self):
@@ -384,6 +441,11 @@ class TestDeterminism:
         serial = run_experiments(names, TINY_SETTINGS, jobs=1, experiment_kwargs=TINY_KWARGS)
         parallel = run_experiments(names, TINY_SETTINGS, jobs=2, experiment_kwargs=TINY_KWARGS)
         return serial, parallel
+
+    @pytest.fixture(scope="class")
+    def worker_pool(self):
+        with spawn_local_workers(2) as pool:
+            yield pool
 
     def test_every_experiment_has_identical_rows(self, serial_and_parallel):
         serial, parallel = serial_and_parallel
@@ -393,6 +455,19 @@ class TestDeterminism:
             assert serial_result.rows == parallel_result.rows, f"{name} rows diverged"
             assert serial_result.notes == parallel_result.notes, f"{name} notes diverged"
 
+    def test_distributed_run_has_identical_rows(self, serial_and_parallel, worker_pool):
+        """Rows from a 2-localhost-worker distributed sweep are byte-identical
+        to the serial rows for every registered experiment."""
+        serial, _ = serial_and_parallel
+        names = sorted(EXPERIMENTS)
+        distributed = run_experiments(
+            names, TINY_SETTINGS, hosts=worker_pool.hosts, experiment_kwargs=TINY_KWARGS
+        )
+        assert [name for name, _, _ in serial] == [name for name, _, _ in distributed]
+        for (name, serial_result, _), (_, distributed_result, _) in zip(serial, distributed):
+            assert serial_result.rows == distributed_result.rows, f"{name} rows diverged"
+            assert serial_result.notes == distributed_result.notes, f"{name} notes diverged"
+
     def test_parallel_sweep_results_match_serial_cell_for_cell(self):
         grid = collect_grid(sorted(EXPERIMENTS), TINY_SETTINGS)
         serial = SweepRunner(settings=TINY_SETTINGS).run(grid)
@@ -400,6 +475,14 @@ class TestDeterminism:
         assert len(serial) == len(parallel) == len(grid)
         for cell in grid:
             assert serial[cell] == parallel[cell], f"cell {cell.label()} diverged"
+
+    def test_distributed_sweep_results_match_serial_cell_for_cell(self, worker_pool):
+        grid = collect_grid(sorted(EXPERIMENTS), TINY_SETTINGS)
+        serial = SweepRunner(settings=TINY_SETTINGS).run(grid)
+        distributed = SweepRunner(settings=TINY_SETTINGS, hosts=worker_pool.hosts).run(grid)
+        assert len(serial) == len(distributed) == len(grid)
+        for cell in grid:
+            assert serial[cell] == distributed[cell], f"cell {cell.label()} diverged"
 
     def test_union_grid_is_smaller_than_sum_of_figure_grids(self):
         names = sorted(EXPERIMENTS)
