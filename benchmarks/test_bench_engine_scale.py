@@ -4,11 +4,13 @@ Serves one long production shift (a 200k-request flood by default;
 ``COSERVE_BENCH_MILLION=1`` escalates to the full million) end to end —
 workload generation plus serving — along two pipelines:
 
-* **pre-PR**: :func:`generate_request_stream` materialises every
-  :class:`RequestSpec`, then :func:`repro.simulation.reference.preredesign_run`
-  serves it the way the engine did before the arrival-cursor redesign —
-  every request, first-stage job and arrival heap entry built up front,
-  the event heap O(N + active) deep.  (PR 3's session measured within
+* **pre-PR**: the preserved scalar generator
+  (:mod:`repro.workload.generator_reference`) materialises every spec
+  the way generation worked before vectorisation, then
+  :func:`repro.simulation.reference.preredesign_run` serves the stream
+  the way the engine did before the arrival-cursor redesign — every
+  request, first-stage job and arrival heap entry built up front, the
+  event heap O(N + active) deep.  (PR 3's session measured within
   2–4 % of this preserved loop, so it stands in for the pre-PR session
   path.)
 * **arrival-cursor**: :meth:`RequestStream.lazy` + ``session.run()`` —
@@ -55,10 +57,13 @@ from repro.simulation.reference import preredesign_run
 from repro.simulation.session import SimObserver
 from repro.workload.circuit_board import build_inspection_model, make_board
 from repro.workload.generator import RequestStream, generate_request_stream
+from repro.workload.generator_reference import iter_request_stream_reference
 
 #: Required end-to-end speedup of the arrival-cursor pipeline over the
-#: pre-PR (eager + heap-seeded) pipeline.  Measured ~1.4x at 200k.
-MIN_SPEEDUP = 1.3
+#: pre-PR (scalar-generated eager + heap-seeded) pipeline.  Measured
+#: ~2.1x at 200k after the vectorised-generation/hot-loop PR; the
+#: floor leaves ~20 % headroom for slower or noisier CI machines.
+MIN_SPEEDUP = 1.7
 
 #: Peak live requests must stay below this fraction of the stream
 #: (in-flight is a few hundred in this regime; the old path held all N).
@@ -110,8 +115,22 @@ def _build_simulation(model) -> ServingSimulation:
 
 
 def _pre_pr_pipeline(board, model):
-    """Eager stream + heap-seeded monolithic loop (the pre-PR shape)."""
-    stream = generate_request_stream(board, model, **_stream_kwargs())
+    """Scalar-generated eager stream + heap-seeded monolithic loop.
+
+    Generation goes through the preserved scalar reference (one
+    ``resolve`` per request, dataclass specs, validating stream
+    constructor): using the live vectorised generator here would hand
+    the baseline the very speedup this benchmark measures.
+    """
+    kwargs = _stream_kwargs()
+    name = kwargs.pop("name")
+    stream = RequestStream(
+        name=name,
+        requests=tuple(iter_request_stream_reference(board, model, **kwargs)),
+        arrival_interval_ms=kwargs["arrival_interval_ms"],
+        board_name=board.name,
+        seed=kwargs["seed"],
+    )
     return preredesign_run(_build_simulation(model), stream)
 
 
@@ -125,7 +144,7 @@ def _cursor_pipeline(board, model):
 #: pipelines (pre-PR, cursor, pre-PR, cursor, ...) exposes both to the
 #: same allocator/page-cache state and machine noise; min-per-side then
 #: compares their best honest showings.
-TIMING_REPS = 2 if _million() else 3
+TIMING_REPS = 2 if _million() else 4
 
 
 def _timed(pipeline, *args):

@@ -159,7 +159,14 @@ class MetricsObserver:
         self.collector = collector if collector is not None else MetricsCollector()
 
     def on_job_dispatch(self, event: "JobDispatch") -> None:
-        self.collector.record_scheduling(event.scheduling_latency_ms)
+        # record_scheduling, inlined: this hook fires once per stage
+        # job, and the extra call frame is measurable at stream scale.
+        latency_ms = event.scheduling_latency_ms
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        collector = self.collector
+        collector.total_scheduling_ms += latency_ms
+        collector.scheduling_decisions += 1
 
     def on_batch_start(self, event: "BatchStart") -> None:
         self.collector.record_execution(

@@ -201,13 +201,13 @@ class _PerPoolRecencyPolicy(EvictionPolicy):
             pool_order = ()
         blocked = set(context.protected_expert_ids)
         blocked.add(context.incoming_expert_id)
-        resident = context.resident_expert_ids
-        resident_set = set(resident)
-        never_bumped = sorted(
-            expert_id
-            for expert_id in resident
-            if expert_id not in pool_order and expert_id not in blocked
-        )
+        resident_set = set(context.resident_expert_ids)
+        # Residents the engine loaded are always bumped, so this
+        # difference is empty on the hot path; computing it as C-level
+        # set ops (sorting makes input order irrelevant) avoids a
+        # per-eviction Python scan over every resident.
+        missing = resident_set.difference(pool_order)
+        never_bumped = sorted(missing.difference(blocked)) if missing else []
         bytes_to_free = context.bytes_to_free
         sizes = context.resident_bytes
         if bytes_to_free is None or sizes is None:

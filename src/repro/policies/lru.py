@@ -8,6 +8,7 @@ higher than the experts it keeps.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List
 
 from repro.policies.base import EvictionContext, _PerPoolRecencyPolicy
@@ -24,11 +25,20 @@ class LRUPolicy(_PerPoolRecencyPolicy):
 
     name = "lru"
 
-    def record_load(self, pool_name: str, expert_id: str, now_ms: float) -> None:
-        self._bump(pool_name, expert_id)
+    # Both hooks are _bump, inlined: they fire once per batch start and
+    # once per expert load, and the delegating frame is measurable at
+    # million-request scale.
 
-    def record_access(self, pool_name: str, expert_id: str, now_ms: float) -> None:
-        self._bump(pool_name, expert_id)
+    def record_load(self, pool_name: str, expert_id: str, now_ms: float) -> None:
+        pool_order = self._order.get(pool_name)
+        if pool_order is None:
+            self._order[pool_name] = OrderedDict({expert_id: None})
+        elif expert_id in pool_order:
+            pool_order.move_to_end(expert_id)
+        else:
+            pool_order[expert_id] = None
+
+    record_access = record_load
 
     def record_eviction(self, pool_name: str, expert_id: str, now_ms: float) -> None:
         self._forget(pool_name, expert_id)

@@ -217,23 +217,38 @@ class RequestQueue:
             return []
         head = self._runs[0]
         jobs = head.jobs
-        run: List[StageJob] = []
-        for _ in range(min(max_count, len(jobs))):
-            job = jobs.popleft()
-            self._expert_counts[job.expert_id] -= 1
-            if self._expert_counts[job.expert_id] <= 0:
-                del self._expert_counts[job.expert_id]
-            self._pending_latency_ms -= job.predicted_latency_ms
-            self._size -= 1
-            run.append(job)
-        if not jobs:
+        # Every job in a run shares the run's expert by construction,
+        # so the per-job bookkeeping batches: one count update, one
+        # size update, and the pending-latency walk is skipped outright
+        # when nothing is pending (the default-policy case, where every
+        # predicted latency is zero — the final clamp makes that
+        # shortcut exact).
+        if max_count < len(jobs):
+            popleft = jobs.popleft
+            run = [popleft() for _ in range(max_count)]
+        else:
+            run = list(jobs)
+            jobs.clear()
             self._runs.popleft()
             if self._last_run.get(head.expert_id) is head:
                 del self._last_run[head.expert_id]
-        if self._pending_latency_ms < 0:
-            # The running sum accumulates float error as jobs come and
-            # go; the true pending latency can never be negative.
-            self._pending_latency_ms = 0.0
+        expert_id = head.expert_id
+        counts = self._expert_counts
+        remaining = counts[expert_id] - len(run)
+        if remaining <= 0:
+            del counts[expert_id]
+        else:
+            counts[expert_id] = remaining
+        self._size -= len(run)
+        pending = self._pending_latency_ms
+        if pending:
+            for job in run:
+                pending -= job.predicted_latency_ms
+            if pending < 0:
+                # The running sum accumulates float error as jobs come
+                # and go; the true pending latency can never be negative.
+                pending = 0.0
+            self._pending_latency_ms = pending
         return run
 
     def clear(self) -> None:

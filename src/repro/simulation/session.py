@@ -270,6 +270,13 @@ _EVENT_FINISH = 0
 _EVENT_JOB = 1
 _EVENT_DISPATCH = 2
 
+#: Shared empty protected-set for single-executor eviction contexts.
+_EMPTY_FROZENSET: frozenset = frozenset()
+
+#: Module-local alias: the handlers push an event per job/batch, and
+#: the attribute hop through the module object is measurable there.
+_heappush = heapq.heappush
+
 
 class SimulationSession:
     """A steppable serving run over one request stream.
@@ -339,10 +346,59 @@ class SimulationSession:
         self._expert = self._model.expert
         self._execution_latency_ms = self._device.execution_latency_ms
         self._expert_load_latency_ms = self._device.expert_load_latency_ms
+        # Execution latency is a pure function of (architecture,
+        # processor, batch size) — a closed-form profile lookup — and a
+        # serving run asks for the same handful of keys tens of
+        # thousands of times, so _dispatch memoises the three-call
+        # chain behind one dict probe.
+        self._execution_latency_cache: Dict[tuple, float] = {}
+        self._load_latency_cache: Dict[tuple, float] = {}
         self._record_access = self._eviction.record_access
         self._victim_order = self._eviction.victim_order
         self._record_eviction = self._eviction.record_eviction
         self._record_load = self._eviction.record_load
+        # Policies that inherit the base-class defaults for a decision
+        # get that decision constant-folded out of the per-job handler:
+        # the defaults are pure no-ops (zero scheduling latency, zero
+        # predicted latency, tail insertion), so recognising them — the
+        # class attribute *is* the base class's function — removes up to
+        # three Python calls per stage job.  Deferred import: interfaces
+        # imports this module for the SimObserver re-export.
+        from repro.simulation.interfaces import SchedulingPolicy
+        from repro.scheduling.fcfs import FCFSScheduling
+
+        policy_cls = type(policy)
+        # FCFS's selector is "the first executor", independent of the
+        # job; recognising the exact method lets the per-job handler
+        # use the prebound executor instead of a Python call.
+        self._first_executor = (
+            self._executors[0]
+            if getattr(policy_cls, "select_executor", None)
+            is FCFSScheduling.select_executor
+            else None
+        )
+        # Likewise FCFS's batch cap is a constant, independent of the
+        # executor and expert: folding it lets _dispatch skip the
+        # policy call *and* the head-expert probe it would feed.
+        if getattr(policy_cls, "max_batch_size", None) is FCFSScheduling.max_batch_size:
+            self._fixed_max_batch: Optional[int] = max(
+                1, policy.max_batch_size(self._executors[0], "")
+            )
+        else:
+            self._fixed_max_batch = None
+        self._default_scheduling_latency = (
+            getattr(policy_cls, "scheduling_latency_ms", None)
+            is SchedulingPolicy.scheduling_latency_ms
+        )
+        self._default_predicted_latency = (
+            getattr(policy_cls, "predicted_additional_latency_ms", None)
+            is SchedulingPolicy.predicted_additional_latency_ms
+        )
+        self._default_enqueue = (
+            getattr(policy_cls, "enqueue", None) is SchedulingPolicy.enqueue
+            and getattr(policy_cls, "insertion_index", None)
+            is SchedulingPolicy.insertion_index
+        )
 
         # One callback list per hook; emission sites check emptiness
         # before materialising an event.
@@ -371,7 +427,12 @@ class SimulationSession:
             None if simulation.options.keep_request_records else {}
         )
         self._keep_stage_records = simulation.options.keep_stage_records
-        self._events: List[Tuple[float, int, int, object]] = []
+        # Heap entries are ``(time, kind, sequence, *rest)``: JOB and
+        # DISPATCH carry one payload element, FINISH events flatten
+        # their five fields straight into the entry (no nested payload
+        # tuple on the hot path).  Sequences are unique, so ordering
+        # never compares past index 2.
+        self._events: List[tuple] = []
         # Live events are numbered after every arrival (the cursor owns
         # sequences 0..N-1), preserving the pre-cursor tie-breaks.
         self._sequence = self._total_requests
@@ -592,22 +653,24 @@ class SimulationSession:
                     self._inflight[spec.request_id] = request
                 self._arrivals_consumed += 1
                 self._next_spec = self._advance_cursor(now)
-                self._handle_job(StageJob.initial(request), now)
+                self._handle_job(StageJob(request, 0, spec.realized_pipeline[0], now), now)
                 return True
         elif not events:
             self._finalize()
             return False
-        now, kind, _, payload = heapq.heappop(events)
+        event = heapq.heappop(events)
+        now = event[0]
+        kind = event[1]
         self.now_ms = now
         if kind == _EVENT_JOB:
-            self._handle_job(payload, now)
+            self._handle_job(event[3], now)
         elif kind == _EVENT_DISPATCH:
-            self._dispatch(payload, now)
+            self._dispatch(event[3], now)
         elif kind == _EVENT_FINISH:
-            executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
-            self._handle_finish(executor, batch, dispatch_ms, start_ms, end_ms, switch_wait)
-            if end_ms > self._last_completion_ms:
-                self._last_completion_ms = end_ms
+            # (end, kind, seq, executor, batch, dispatch_ms, start_ms, switch_wait)
+            self._handle_finish(event[3], event[4], event[5], event[6], now, event[7])
+            if now > self._last_completion_ms:
+                self._last_completion_ms = now
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown event kind {kind}")
         return True
@@ -676,30 +739,43 @@ class SimulationSession:
         handle_finish = self._handle_finish
         inflight = self._inflight
         requests = self.requests
+        spec_iter = self._spec_iter
+        make_request = SimRequest
+        make_job = StageJob
         while not self._finished and self._abort_reason is None:
             spec = self._next_spec
             if spec is not None:
                 # Same tie-break as step(): only a same-time FINISH
                 # precedes an arrival (arrivals own sequences 0..N-1).
-                if not events:
-                    head = None
-                else:
+                # Consecutive arrivals are admitted in one inner loop:
+                # the heap head only changes when _handle_job pushes a
+                # DISPATCH, which a length check detects, so the common
+                # several-arrivals-before-the-next-heap-event stretch
+                # re-reads the head only when it actually moved.
+                heap_length = len(events)
+                if heap_length:
                     head = events[0]
-                arrival_ms = spec.arrival_ms
-                if (
-                    head is None
-                    or arrival_ms < head[0]
-                    or (arrival_ms == head[0] and head[1] != _EVENT_FINISH)
+                    head_time = head[0]
+                    head_is_finish = head[1] == _EVENT_FINISH
+                else:
+                    head_time = None
+                    head_is_finish = False
+                admitted = False
+                while (
+                    head_time is None
+                    or spec.arrival_ms < head_time
+                    or (spec.arrival_ms == head_time and not head_is_finish)
                 ):
+                    arrival_ms = spec.arrival_ms
                     self.now_ms = arrival_ms
-                    request = SimRequest(spec)
+                    request = make_request(spec)
                     if inflight is None:
                         requests.append(request)
                     else:
                         inflight[spec.request_id] = request
                     self._arrivals_consumed += 1
                     # _advance_cursor, inlined (this runs per arrival).
-                    next_spec = next(self._spec_iter, None)
+                    next_spec = next(spec_iter, None)
                     if next_spec is not None and next_spec.arrival_ms < arrival_ms:
                         raise SimulationError(
                             f"request stream is not sorted by arrival time: request "
@@ -707,21 +783,40 @@ class SimulationSession:
                             f"after one at {arrival_ms} ms"
                         )
                     self._next_spec = next_spec
-                    handle_job(StageJob.initial(request), arrival_ms)
+                    handle_job(
+                        make_job(request, 0, spec.realized_pipeline[0], arrival_ms),
+                        arrival_ms,
+                    )
+                    admitted = True
+                    spec = next_spec
+                    if spec is None or self._abort_reason is not None:
+                        break
+                    if len(events) != heap_length:
+                        heap_length = len(events)
+                        head = events[0]
+                        head_time = head[0]
+                        head_is_finish = head[1] == _EVENT_FINISH
+                if admitted:
                     continue
+                # The heap head precedes the next arrival; fall through
+                # to process it (the admission loop guarantees the heap
+                # is non-empty here).
             elif not events:
                 break
-            now, kind, _, payload = heappop(events)
+            event = heappop(events)
+            now = event[0]
+            kind = event[1]
             self.now_ms = now
             if kind == _EVENT_FINISH:
-                executor, batch, dispatch_ms, start_ms, end_ms, switch_wait = payload
-                handle_finish(executor, batch, dispatch_ms, start_ms, end_ms, switch_wait)
-                if end_ms > self._last_completion_ms:
-                    self._last_completion_ms = end_ms
+                # (end, kind, seq, executor, batch, dispatch_ms,
+                #  start_ms, switch_wait)
+                handle_finish(event[3], event[4], event[5], event[6], now, event[7])
+                if now > self._last_completion_ms:
+                    self._last_completion_ms = now
             elif kind == _EVENT_JOB:
-                handle_job(payload, now)
+                handle_job(event[3], now)
             elif kind == _EVENT_DISPATCH:
-                dispatch(payload, now)
+                dispatch(event[3], now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind}")
         self._finalize()
@@ -782,10 +877,21 @@ class SimulationSession:
             event = RequestArrival(now, job.request)
             for hook in self._on_request_arrival:
                 hook(event)
-        scheduling_latency = self._scheduling_latency_ms(job, now)
-        executor = self._select_executor(job, self._executors, now)
-        job.predicted_latency_ms = self._predicted_additional_latency_ms(executor, job, now)
-        self._policy_enqueue(executor, job, now)
+        if self._default_scheduling_latency:
+            scheduling_latency = 0.0
+        else:
+            scheduling_latency = self._scheduling_latency_ms(job, now)
+        executor = self._first_executor
+        if executor is None:
+            executor = self._select_executor(job, self._executors, now)
+        if not self._default_predicted_latency:
+            job.predicted_latency_ms = self._predicted_additional_latency_ms(
+                executor, job, now
+            )
+        if self._default_enqueue:
+            executor.queue.append(job)
+        else:
+            self._policy_enqueue(executor, job, now)
         if self._on_job_dispatch:
             event = JobDispatch(now, job, executor.name, scheduling_latency)
             for hook in self._on_job_dispatch:
@@ -793,20 +899,30 @@ class SimulationSession:
 
         if executor.idle:
             executor.idle = False
-            heapq.heappush(self._events, (now, _EVENT_DISPATCH, self._sequence, executor))
+            _heappush(self._events, (now, _EVENT_DISPATCH, self._sequence, executor))
             self._sequence += 1
 
     def _dispatch(self, executor: "Executor", now: float) -> None:
         """Form and start the next batch on an executor."""
         queue = executor.queue
-        if queue.is_empty:
-            executor.idle = True
-            executor.current_expert_id = None
-            return
-
-        head_expert_id = queue.head_expert_id()
-        max_batch = max(1, self._max_batch_size(executor, head_expert_id))
-        batch = queue.pop_head_run(max_batch)
+        max_batch = self._fixed_max_batch
+        if max_batch is None:
+            if queue.is_empty:
+                executor.idle = True
+                executor.current_expert_id = None
+                return
+            max_batch = self._max_batch_size(executor, queue.head_expert_id())
+            if max_batch < 1:
+                max_batch = 1
+            batch = queue.pop_head_run(max_batch)
+        else:
+            # Constant cap: popping first folds the emptiness probe and
+            # the head-expert lookup into the one queue call.
+            batch = queue.pop_head_run(max_batch)
+            if not batch:
+                executor.idle = True
+                executor.current_expert_id = None
+                return
         expert = self._expert(batch[0].expert_id)
         executor.current_expert_id = expert.expert_id
 
@@ -816,9 +932,11 @@ class SimulationSession:
             ready_ms = self._load_expert(executor, expert, now)
             switch_wait = ready_ms - now
 
-        execution_latency = self._execution_latency_ms(
-            expert.architecture_name, executor.kind, len(batch)
-        )
+        latency_key = (expert.architecture_name, executor.kind, len(batch))
+        execution_latency = self._execution_latency_cache.get(latency_key)
+        if execution_latency is None:
+            execution_latency = self._execution_latency_ms(*latency_key)
+            self._execution_latency_cache[latency_key] = execution_latency
         compute = self._compute_resources[executor.kind]
         start_ms, end_ms = compute.acquire(ready_ms, execution_latency)
 
@@ -842,8 +960,10 @@ class SimulationSession:
             for hook in self._on_batch_start:
                 hook(event)
 
-        payload = (executor, batch, now, start_ms, end_ms, switch_wait)
-        heapq.heappush(self._events, (end_ms, _EVENT_FINISH, self._sequence, payload))
+        _heappush(
+            self._events,
+            (end_ms, _EVENT_FINISH, self._sequence, executor, batch, now, start_ms, switch_wait),
+        )
         self._sequence += 1
 
     def _load_expert(self, executor: "Executor", expert, now: float) -> float:
@@ -853,16 +973,22 @@ class SimulationSession:
         evicted_any = False
 
         if not pool.can_fit(needed):
-            protected = {
-                other.current_expert_id
-                for other in self._executors
-                if other is not executor and other.pool is pool and other.current_expert_id
-            }
+            # With a single executor there is never a peer to protect;
+            # skip the per-eviction comprehension (this branch runs on
+            # nearly every load in switching-heavy regimes).
+            if len(self._executors) == 1:
+                protected = _EMPTY_FROZENSET
+            else:
+                protected = frozenset(
+                    other.current_expert_id
+                    for other in self._executors
+                    if other is not executor and other.pool is pool and other.current_expert_id
+                )
             context = EvictionContext(
                 pool_name=pool.name,
                 resident_expert_ids=pool.resident_expert_ids(),
                 incoming_expert_id=expert.expert_id,
-                protected_expert_ids=frozenset(protected),
+                protected_expert_ids=protected,
                 queued_expert_ids=executor.queue.queued_expert_view(),
                 now_ms=now,
                 bytes_to_free=needed - pool.free_bytes,
@@ -900,9 +1026,13 @@ class SimulationSession:
 
         source_tier = self._locate_source_tier(executor, expert.expert_id)
 
-        load_latency = self._expert_load_latency_ms(
-            expert.weight_bytes, expert.architecture_name, source_tier, executor.kind
-        )
+        # Load latency is pure in (bytes, architecture, tier, kind);
+        # memoised for the same reason as execution latency.
+        load_key = (expert.weight_bytes, expert.architecture_name, source_tier, executor.kind)
+        load_latency = self._load_latency_cache.get(load_key)
+        if load_latency is None:
+            load_latency = self._expert_load_latency_ms(*load_key)
+            self._load_latency_cache[load_key] = load_latency
         io_resource = self._io_resources.get(source_tier, self._io_resources[MemoryTier.SSD])
         _, ready_ms = io_resource.acquire(now, load_latency)
 
@@ -948,9 +1078,12 @@ class SimulationSession:
         batch_size = len(batch)
         executor_name = executor.name
         events = self._events
-        heappush = heapq.heappush
+        heappush = _heappush
         inflight = self._inflight
         keep_stage_records = self._keep_stage_records
+        on_request_completion = self._on_request_completion
+        make_job = StageJob
+        sequence = self._sequence
         for job in batch:
             request = job.request
             stage_index = job.stage_index
@@ -969,11 +1102,12 @@ class SimulationSession:
                 )
             next_stage = stage_index + 1
             request.next_stage = next_stage
-            pipeline = request.spec.realized_pipeline
+            spec = request.spec
+            pipeline = spec.realized_pipeline
             if next_stage < len(pipeline):
-                next_job = StageJob(request, next_stage, pipeline[next_stage], end_ms)
-                heappush(events, (end_ms, _EVENT_JOB, self._sequence, next_job))
-                self._sequence += 1
+                next_job = make_job(request, next_stage, pipeline[next_stage], end_ms)
+                heappush(events, (end_ms, _EVENT_JOB, sequence, next_job))
+                sequence += 1
             else:
                 request.completed_ms = end_ms
                 self.completed_requests += 1
@@ -981,9 +1115,10 @@ class SimulationSession:
                     # Request records are disabled: nothing downstream
                     # reads the finished request, so let it go — peak
                     # live requests track in-flight, not stream length.
-                    inflight.pop(request.request_id, None)
-                if self._on_request_completion:
+                    inflight.pop(spec.request_id, None)
+                if on_request_completion:
                     event = RequestCompletion(end_ms, request)
-                    for hook in self._on_request_completion:
+                    for hook in on_request_completion:
                         hook(event)
+        self._sequence = sequence
         self._dispatch(executor, end_ms)

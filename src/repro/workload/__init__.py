@@ -23,6 +23,7 @@ from repro.workload.circuit_board import (
     build_inspection_model,
 )
 from repro.workload.generator import (
+    STREAM_FORMAT,
     LazyRequestStream,
     RequestSpec,
     RequestStream,
@@ -34,6 +35,7 @@ from repro.workload.tasks import Task, standard_tasks, task_by_name
 from repro.workload.dataset import SampleDataset, make_sample_dataset
 
 __all__ = [
+    "STREAM_FORMAT",
     "ComponentType",
     "CircuitBoard",
     "make_board_a",

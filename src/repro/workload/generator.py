@@ -23,28 +23,51 @@ Two materialisation modes share one generation path:
   "long production shift" cell never holds the full spec tuple.  A
   :class:`LazyRequestStream` knows its length and arrival spacing up
   front and re-generates specs from the seed on every iteration pass.
+
+Generation is **vectorised**: each 4096-spec chunk draws its
+pipeline-realisation Bernoullis as one ``rng.random(k)`` batch call,
+computes arrivals with one ``arange``, and materialises specs from the
+precomputed arrays.  NumPy's PCG64 consumes the bit stream identically
+for ``rng.random(k)`` and ``k`` scalar ``rng.random()`` calls, so the
+batched draws reproduce the historical scalar seed→spec mapping
+*exactly* — :data:`STREAM_FORMAT` therefore remains ``1``.  The scalar
+path is preserved verbatim in :mod:`repro.workload.generator_reference`
+and property tests pin the two spec-for-spec.
 """
 
 from __future__ import annotations
 
 import functools
+import gc
 import itertools
-from collections import Counter
+from collections import Counter, namedtuple
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Callable, ClassVar, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.coe.model import CoEModel
+from repro.coe.router import Router
 from repro.workload.circuit_board import CircuitBoard
 
 #: Arrival interval between component images in the paper's production line.
 DEFAULT_ARRIVAL_INTERVAL_MS = 4.0
 
+#: Version of the seed→spec mapping.  Format 1 is the original scalar
+#: mapping (one ``resolve`` per request against ``default_rng(seed)``);
+#: the vectorised generator reproduces it bit-for-bit, so the format has
+#: never changed.  Bump this — and re-baseline the golden tests — if a
+#: future change alters which specs a given seed produces.
+STREAM_FORMAT = 1
 
-@dataclass(frozen=True)
-class RequestSpec:
+
+_RequestSpecFields = namedtuple(
+    "_RequestSpecFields", ("request_id", "arrival_ms", "category", "realized_pipeline")
+)
+
+
+class RequestSpec(_RequestSpecFields):
     """One inference request of a workload.
 
     Parameters
@@ -59,20 +82,36 @@ class RequestSpec:
         The experts this request will actually visit, in order.  The
         first entry is always the preliminary expert; later entries are
         only revealed to the serving system as earlier stages complete.
+
+    Implemented as a ``tuple`` subclass rather than a dataclass: specs
+    are constructed a million times per long-shift workload, and the
+    generator's hot path builds them through :meth:`_make` (C-speed
+    ``tuple.__new__``, no per-field validation) from values it already
+    guarantees valid.  The public constructor validates as before.
     """
 
-    request_id: int
-    arrival_ms: float
-    category: str
-    realized_pipeline: Tuple[str, ...]
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.request_id < 0:
+    # The generator's trusted constructor: one C-level call per spec
+    # (no Python frame, no per-field validation).  Overrides the
+    # namedtuple-generated _make, whose Python wrapper is measurable at
+    # a million specs.
+    _make = classmethod(tuple.__new__)
+
+    def __new__(
+        cls,
+        request_id: int,
+        arrival_ms: float,
+        category: str,
+        realized_pipeline: Tuple[str, ...],
+    ) -> "RequestSpec":
+        if request_id < 0:
             raise ValueError("request_id must be non-negative")
-        if self.arrival_ms < 0:
+        if arrival_ms < 0:
             raise ValueError("arrival_ms must be non-negative")
-        if not self.realized_pipeline:
+        if not realized_pipeline:
             raise ValueError("realized_pipeline must contain at least one expert")
+        return tuple.__new__(cls, (request_id, arrival_ms, category, realized_pipeline))
 
     @property
     def preliminary_expert(self) -> str:
@@ -109,6 +148,10 @@ def _compute_stream_views(specs) -> _StreamViews:
 @dataclass(frozen=True)
 class RequestStream:
     """A fully materialised request arrival stream."""
+
+    #: Seed→spec mapping version shared by every stream this module
+    #: produces (see module-level :data:`STREAM_FORMAT`).
+    STREAM_FORMAT: ClassVar[int] = STREAM_FORMAT
 
     name: str
     requests: Tuple[RequestSpec, ...]
@@ -219,6 +262,10 @@ class LazyRequestStream:
     field equality would conflate streams generating different specs
     (eager streams compare their full spec tuples instead).
     """
+
+    #: Seed→spec mapping version shared by every stream this module
+    #: produces (see module-level :data:`STREAM_FORMAT`).
+    STREAM_FORMAT: ClassVar[int] = STREAM_FORMAT
 
     name: str
     num_requests: int
@@ -334,9 +381,9 @@ def iter_request_stream(
     Byte-identical to :func:`generate_request_stream` with the same
     parameters — both paths seed one ``np.random.default_rng(seed)``
     and drive it through the identical call sequence (active-component
-    subset, one category draw when shuffled, one ``router.resolve`` per
-    request) — but only ever holds the spec being yielded.  Arguments
-    are validated eagerly, before the first spec is requested.
+    subset, one category draw when shuffled, then the per-chunk batched
+    Bernoulli draws) — but only ever holds one chunk of specs.
+    Arguments are validated eagerly, before the first spec is requested.
     """
     _validate_stream_args(num_requests, arrival_interval_ms, order, active_fraction)
     return itertools.chain.from_iterable(
@@ -349,8 +396,119 @@ def iter_request_stream(
 #: Specs generated per chunk by the streaming path.  Chunking amortises
 #: the generator suspension over thousands of specs (the consumer pulls
 #: single specs out of plain list iterators at C speed) while keeping
-#: peak memory at one chunk, far below the stream.
+#: peak memory at one chunk, far below the stream.  It is also the batch
+#: size of the vectorised Bernoulli draws.
 _SPEC_CHUNK_SIZE = 4096
+
+
+# How many RNG draws realising one request of a category consumes:
+_DRAW_NONE = 0  # every continuation certain — pipeline fixed, no draw
+_DRAW_SINGLE = 1  # exactly one sub-unity continuation — one Bernoulli
+_DRAW_SEQUENTIAL = 2  # several sub-unity continuations — data-dependent
+
+
+class _CategoryTable:
+    """Per-category draw plan, index-aligned with the active components.
+
+    ``Router.resolve`` walks a rule's continuation probabilities and
+    consumes one uniform per *reached* sub-unity probability.  For the
+    inspection models (and any rule with at most one uncertain
+    continuation) the draw count per request is a fixed property of the
+    category, which is what makes batch realisation possible:
+
+    * ``_DRAW_NONE`` — no uncertain continuation (or a single-stage
+      pipeline): the realised pipeline is always the full pipeline and
+      no uniform is consumed.
+    * ``_DRAW_SINGLE`` — exactly one uncertain continuation at position
+      ``j`` (always reached, since earlier continuations are certain):
+      one uniform ``u`` is consumed; ``u < p`` realises the full
+      pipeline, ``u >= p`` truncates it to ``pipeline[:j + 1]``.
+    * ``_DRAW_SEQUENTIAL`` — two or more uncertain continuations: the
+      number of uniforms depends on earlier outcomes, so these requests
+      fall back to the scalar ``resolve`` (interleaved in request order
+      to keep the RNG stream identical).
+    """
+
+    __slots__ = ("names", "full", "truncated", "kinds", "thresholds", "needs_scalar")
+
+    def __init__(self, components, router: Router) -> None:
+        count = len(components)
+        names = np.empty(count, dtype=object)
+        full = np.empty(count, dtype=object)
+        truncated = np.empty(count, dtype=object)
+        kinds = np.zeros(count, dtype=np.int8)
+        thresholds = np.ones(count, dtype=np.float64)
+        for index, component in enumerate(components):
+            rule = router.rule(component.name)
+            pipeline = rule.pipeline
+            names[index] = component.name
+            full[index] = pipeline
+            truncated[index] = pipeline
+            uncertain = [
+                (position, probability)
+                for position, probability in enumerate(rule.continuation_probabilities)
+                if probability < 1.0
+            ]
+            if len(pipeline) == 1 or not uncertain:
+                continue
+            if len(uncertain) == 1:
+                position, probability = uncertain[0]
+                kinds[index] = _DRAW_SINGLE
+                thresholds[index] = probability
+                truncated[index] = pipeline[: position + 1]
+            else:
+                kinds[index] = _DRAW_SEQUENTIAL
+        self.names = names
+        self.full = full
+        self.truncated = truncated
+        self.kinds = kinds
+        self.thresholds = thresholds
+        self.needs_scalar = bool((kinds == _DRAW_SEQUENTIAL).any())
+
+
+def _realise_batch(table: _CategoryTable, cat_idx: np.ndarray, rng) -> List[Tuple[str, ...]]:
+    """Realised pipelines for a run of fixed-draw-count categories.
+
+    One ``rng.random(k)`` call covers the run's ``k`` single-draw
+    requests in request order; PCG64 consumes the bit stream exactly as
+    ``k`` scalar ``rng.random()`` calls would, so the outcome matches
+    the scalar reference bit-for-bit.
+    """
+    pipelines = table.full[cat_idx]
+    draw_positions = np.flatnonzero(table.kinds[cat_idx] == _DRAW_SINGLE)
+    if draw_positions.size:
+        uniforms = rng.random(draw_positions.size)
+        failed = draw_positions[uniforms >= table.thresholds[cat_idx[draw_positions]]]
+        if failed.size:
+            pipelines[failed] = table.truncated[cat_idx[failed]]
+    return pipelines.tolist()
+
+
+def _realise_chunk(
+    table: _CategoryTable, cat_idx: np.ndarray, rng, resolve
+) -> List[Tuple[str, ...]]:
+    """Realised pipelines for one chunk, preserving scalar draw order.
+
+    Requests of ``_DRAW_SEQUENTIAL`` categories (several uncertain
+    continuations) split the chunk into batchable segments; each such
+    request resolves scalarly in place so the RNG call sequence is
+    identical to one scalar ``resolve`` per request.
+    """
+    if table.needs_scalar:
+        sequential = np.flatnonzero(table.kinds[cat_idx] == _DRAW_SEQUENTIAL)
+        if sequential.size:
+            names = table.names
+            pipelines: List[Tuple[str, ...]] = []
+            previous = 0
+            for position in sequential.tolist():
+                if position > previous:
+                    pipelines.extend(_realise_batch(table, cat_idx[previous:position], rng))
+                pipelines.append(resolve(names[cat_idx[position]], rng))
+                previous = position + 1
+            if previous < cat_idx.shape[0]:
+                pipelines.extend(_realise_batch(table, cat_idx[previous:], rng))
+            return pipelines
+    return _realise_batch(table, cat_idx, rng)
 
 
 def _generate_spec_chunks(
@@ -362,55 +520,88 @@ def _generate_spec_chunks(
     order: str,
     active_fraction: float,
 ) -> Iterator[List[RequestSpec]]:
+    """Yield the stream as lists of at most :data:`_SPEC_CHUNK_SIZE` specs.
+
+    The vectorised core shared by the eager and lazy paths.  Setup
+    reproduces the scalar reference's RNG prologue exactly (active
+    subset, then the single category draw when shuffled); each chunk
+    then maps category indices through the :class:`_CategoryTable`,
+    draws its Bernoullis in one batch (:func:`_realise_chunk`) and
+    materialises specs via ``RequestSpec._make`` from the precomputed
+    id/arrival/category/pipeline columns.
+    """
     rng = np.random.default_rng(seed)
     components = _active_components(board, active_fraction, rng)
-    resolve = model.router.resolve
-    make_spec = RequestSpec
-    chunk: List[RequestSpec] = []
-    emit = chunk.append
+    table = _CategoryTable(components, model.router)
+    names = table.names
     if order == "scan":
-        # Scan order consumes no randomness for the categories, so the
-        # cycle is inlined; the RNG call sequence (one resolve per
-        # request, in request order) is identical to the eager path.
-        single_pass: List[str] = []
-        for component in components:
-            single_pass.extend([component.name] * component.quantity)
-        request_id = 0
-        while request_id < num_requests:
-            for category in single_pass:
-                if request_id >= num_requests:
-                    break
-                emit(
-                    make_spec(
-                        request_id,
-                        request_id * arrival_interval_ms,
-                        category,
-                        resolve(category, rng),
-                    )
-                )
-                request_id += 1
-                if len(chunk) >= _SPEC_CHUNK_SIZE:
-                    yield chunk
-                    chunk = []
-                    emit = chunk.append
+        # Scan order consumes no randomness for the categories: request
+        # r's category index is position r mod pass-length in the
+        # repeated scan pattern.  Chunk ids are consecutive, so both
+        # columns are plain slices of one precomputed pass — no
+        # per-chunk gather.
+        quantities = np.array([component.quantity for component in components])
+        pattern = np.repeat(np.arange(len(components)), quantities)
+        pass_names = names[pattern].tolist()
+        pass_length = pattern.shape[0]
+
+        def chunk_columns(start: int, end: int):
+            offset = start % pass_length
+            stop = offset + (end - start)
+            if stop <= pass_length:
+                return pattern[offset:stop], pass_names[offset:stop]
+            idx_parts = [pattern[offset:]]
+            categories = pass_names[offset:]
+            stop -= pass_length
+            while stop > pass_length:
+                idx_parts.append(pattern)
+                categories += pass_names
+                stop -= pass_length
+            idx_parts.append(pattern[:stop])
+            categories += pass_names[:stop]
+            return np.concatenate(idx_parts), categories
+
     else:
-        names, draws = _shuffled_draws(components, num_requests, rng)
-        for request_id, index in enumerate(draws):
-            category = names[index]
-            emit(
-                make_spec(
-                    request_id,
-                    request_id * arrival_interval_ms,
-                    category,
-                    resolve(category, rng),
-                )
-            )
-            if len(chunk) >= _SPEC_CHUNK_SIZE:
-                yield chunk
-                chunk = []
-                emit = chunk.append
-    if chunk:
-        yield chunk
+        _, draws = _shuffled_draws(components, num_requests, rng)
+
+        def chunk_columns(start: int, end: int):
+            cat_idx = draws[start:end]
+            return cat_idx, names[cat_idx].tolist()
+
+    resolve = model.router.resolve
+    make_spec = RequestSpec._make
+    for start in range(0, num_requests, _SPEC_CHUNK_SIZE):
+        end = min(start + _SPEC_CHUNK_SIZE, num_requests)
+        cat_idx, categories = chunk_columns(start, end)
+        pipelines = _realise_chunk(table, cat_idx, rng, resolve)
+        arrivals = (np.arange(start, end) * arrival_interval_ms).tolist()
+        yield list(map(make_spec, zip(range(start, end), arrivals, categories, pipelines)))
+
+
+def _trusted_stream(
+    name: str,
+    requests: Tuple[RequestSpec, ...],
+    arrival_interval_ms: float,
+    board_name: str,
+    seed: int,
+) -> RequestStream:
+    """Build a :class:`RequestStream` from generator-produced specs.
+
+    Skips ``__post_init__`` (in particular the O(N) sorted-arrival
+    scan): the generator emits ``request_id * arrival_interval_ms``
+    arrivals with a positive interval, so sortedness and non-emptiness
+    hold by construction.  User-assembled streams keep the validating
+    public constructor.
+    """
+    stream = object.__new__(RequestStream)
+    stream.__dict__.update(
+        name=name,
+        requests=requests,
+        arrival_interval_ms=arrival_interval_ms,
+        board_name=board_name,
+        seed=seed,
+    )
+    return stream
 
 
 def generate_request_stream(
@@ -445,18 +636,27 @@ def generate_request_stream(
         Fraction of the board's component types inspected by this
         production run (1.0 = every type appears in the stream).
     """
-    requests = tuple(
-        iter_request_stream(
-            board,
-            model,
-            num_requests,
-            arrival_interval_ms=arrival_interval_ms,
-            seed=seed,
-            order=order,
-            active_fraction=active_fraction,
-        )
-    )
-    return RequestStream(
+    _validate_stream_args(num_requests, arrival_interval_ms, order, active_fraction)
+    # Assemble chunk-wise rather than through iter_request_stream's
+    # flattening iterator: list.extend copies each 4096-spec chunk at
+    # C speed instead of pulling specs one at a time.  Generational GC
+    # is paused for the bulk build: specs are immutable leaf tuples
+    # that cannot participate in reference cycles, and walking hundreds
+    # of thousands of them per collection is nearly half the eager cost.
+    collected: List[RequestSpec] = []
+    extend = collected.extend
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for chunk in _generate_spec_chunks(
+            board, model, num_requests, arrival_interval_ms, seed, order, active_fraction
+        ):
+            extend(chunk)
+        requests = tuple(collected)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return _trusted_stream(
         name=name or f"{board.name}-{num_requests}",
         requests=requests,
         arrival_interval_ms=arrival_interval_ms,

@@ -1,9 +1,18 @@
 """Tests for request stream generation."""
 
+import itertools
+
 import pytest
 
 from repro.workload.circuit_board import build_inspection_model, make_board
-from repro.workload.generator import RequestSpec, generate_request_stream
+from repro.workload.generator import (
+    STREAM_FORMAT,
+    LazyRequestStream,
+    RequestSpec,
+    RequestStream,
+    generate_request_stream,
+    iter_request_stream,
+)
 
 
 @pytest.fixture(scope="module")
@@ -29,6 +38,61 @@ class TestRequestSpec:
             RequestSpec(0, -1.0, "c", ("cls",))
         with pytest.raises(ValueError):
             RequestSpec(0, 0.0, "c", ())
+
+
+class TestStreamFormatGolden:
+    """Pins the seed→spec mapping version and a known seed's output.
+
+    These literals were captured from the scalar generator before it
+    was vectorised; they must only ever change together with a
+    ``STREAM_FORMAT`` bump.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden_workload(self):
+        board = make_board("P", component_types=12, detection_groups=3, detection_fraction=0.5)
+        return board, build_inspection_model(board)
+
+    def test_stream_format_pinned(self):
+        assert STREAM_FORMAT == 1
+        assert RequestStream.STREAM_FORMAT == 1
+        assert LazyRequestStream.STREAM_FORMAT == 1
+
+    def test_scan_golden_specs_seed_42(self, golden_workload):
+        board, model = golden_workload
+        specs = list(
+            itertools.islice(
+                iter_request_stream(board, model, 100, seed=42, active_fraction=0.5),
+                100,
+            )
+        )
+        two_stage = ("cls/board-p/comp-000", "det/board-p/group-00")
+        for request_id in range(6):
+            assert tuple(specs[request_id]) == (
+                request_id,
+                request_id * 4.0,
+                "board-p/comp-000",
+                two_stage,
+            )
+        # Request 16 is the seed's first failed continuation draw: the
+        # detection stage is skipped.
+        assert tuple(specs[16]) == (16, 64.0, "board-p/comp-000", ("cls/board-p/comp-000",))
+
+    def test_shuffled_golden_specs_seed_42(self, golden_workload):
+        board, model = golden_workload
+        specs = list(
+            iter_request_stream(
+                board, model, 6, seed=42, order="shuffled", active_fraction=0.5
+            )
+        )
+        assert [tuple(spec) for spec in specs] == [
+            (0, 0.0, "board-p/comp-005", ("cls/board-p/comp-005",)),
+            (1, 4.0, "board-p/comp-005", ("cls/board-p/comp-005",)),
+            (2, 8.0, "board-p/comp-000", ("cls/board-p/comp-000", "det/board-p/group-00")),
+            (3, 12.0, "board-p/comp-000", ("cls/board-p/comp-000", "det/board-p/group-00")),
+            (4, 16.0, "board-p/comp-000", ("cls/board-p/comp-000", "det/board-p/group-00")),
+            (5, 20.0, "board-p/comp-010", ("cls/board-p/comp-010", "det/board-p/group-01")),
+        ]
 
 
 class TestStreamGeneration:

@@ -1,0 +1,161 @@
+"""cProfile driver for the engine's million-request hot paths.
+
+Profiles the same workload shape as ``benchmarks/test_bench_engine_scale.py``
+(one saturated GPU executor, scan-order stream, eviction kept hot) so
+its output answers the question the benchmarks raise: *where* does the
+remaining wall time go.  Three modes:
+
+* ``generation`` — drain the vectorised spec stream (no serving);
+* ``serving`` — a full arrival-cursor ``session.run()`` over a lazy
+  stream (generation inlined, the production shape);
+* ``preredesign`` — the preserved pre-PR pipeline (scalar reference
+  generation + heap-seeded monolithic loop) for before/after diffs.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_engine.py --mode serving --requests 200000
+    PYTHONPATH=src python tools/profile_engine.py --mode generation --reference
+    PYTHONPATH=src python tools/profile_engine.py --mode serving --million --sort tottime
+
+The profile prints to stdout; ``--output`` additionally dumps the raw
+stats for ``snakeviz``/``pstats`` post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from collections import deque
+
+
+def _build_case():
+    from repro.workload.circuit_board import build_inspection_model, make_board
+
+    board = make_board("HP", component_types=120, detection_groups=12, detection_fraction=0.3)
+    return board, build_inspection_model(board)
+
+
+def _stream_kwargs(num_requests: int) -> dict:
+    return dict(
+        num_requests=num_requests,
+        arrival_interval_ms=140.0,
+        seed=17,
+        order="scan",
+        active_fraction=0.5,
+    )
+
+
+def _build_simulation(model):
+    from repro.hardware.presets import make_numa_device
+    from repro.hardware.processor import ProcessorKind
+    from repro.hardware.units import GB
+    from repro.policies.lru import LRUPolicy
+    from repro.scheduling.fcfs import FCFSScheduling
+    from repro.simulation.engine import ServingSimulation, SimulationOptions
+    from repro.simulation.executor import ExecutorConfig
+
+    return ServingSimulation(
+        device=make_numa_device(),
+        model=model,
+        executor_configs=[ExecutorConfig("gpu-0", ProcessorKind.GPU, 8 * GB, 1 * GB)],
+        scheduling_policy=FCFSScheduling(batch_size=8),
+        eviction_policy=LRUPolicy(),
+        options=SimulationOptions(keep_request_records=False, keep_stage_records=False),
+    )
+
+
+def _run_generation(board, model, num_requests: int, reference: bool) -> None:
+    if reference:
+        from repro.workload.generator_reference import iter_request_stream_reference as iterate
+    else:
+        from repro.workload.generator import iter_request_stream as iterate
+    deque(iterate(board, model, **_stream_kwargs(num_requests)), maxlen=0)
+
+
+def _run_serving(board, model, num_requests: int) -> None:
+    from repro.workload.generator import RequestStream
+
+    stream = RequestStream.lazy(board, model, **_stream_kwargs(num_requests))
+    _build_simulation(model).session(stream).run()
+
+
+def _run_preredesign(board, model, num_requests: int) -> None:
+    from repro.simulation.reference import preredesign_run
+    from repro.workload.generator import RequestStream
+    from repro.workload.generator_reference import iter_request_stream_reference
+
+    kwargs = _stream_kwargs(num_requests)
+    stream = RequestStream(
+        name=f"profile-{num_requests}",
+        requests=tuple(iter_request_stream_reference(board, model, **kwargs)),
+        arrival_interval_ms=kwargs["arrival_interval_ms"],
+        board_name=board.name,
+        seed=kwargs["seed"],
+    )
+    preredesign_run(_build_simulation(model), stream)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode",
+        choices=("generation", "serving", "preredesign"),
+        default="serving",
+        help="what to profile (default: serving — the production shape)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200_000, help="stream length (default: 200000)"
+    )
+    parser.add_argument(
+        "--million", action="store_true", help="shorthand for --requests 1000000"
+    )
+    parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="generation mode: drain the preserved scalar reference instead",
+    )
+    parser.add_argument(
+        "--sort",
+        default="cumulative",
+        help="pstats sort key (default: cumulative; try tottime)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=30, help="rows of the stats table to print"
+    )
+    parser.add_argument(
+        "--output", default=None, help="also dump raw stats to this file"
+    )
+    args = parser.parse_args(argv)
+
+    num_requests = 1_000_000 if args.million else args.requests
+    board, model = _build_case()
+
+    if args.mode == "generation":
+        target = lambda: _run_generation(board, model, num_requests, args.reference)
+    elif args.mode == "serving":
+        target = lambda: _run_serving(board, model, num_requests)
+    else:
+        target = lambda: _run_preredesign(board, model, num_requests)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    target()
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    label = args.mode + (" (reference)" if args.mode == "generation" and args.reference else "")
+    print(f"{label}: {num_requests} requests in {elapsed:.2f} s (instrumented)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw stats written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
