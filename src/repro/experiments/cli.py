@@ -131,6 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
         "settings, so changed knobs never reuse stale cells).",
     )
     parser.add_argument(
+        "--prune-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="Two-stage sweep: score every cell with the queueing surrogate "
+        "first and skip the fraction F of each (device, task) group with the "
+        "worst predicted tail latency. Pruned cells keep an aborted "
+        "placeholder row carrying the prediction (default: 0 = simulate "
+        "everything).",
+    )
+    parser.add_argument(
+        "--prune-slo-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="Two-stage sweep, absolute variant: skip any cell whose "
+        "surrogate-predicted p99 latency exceeds MS. Composes with "
+        "--prune-fraction and with per-cell SLO early aborts.",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="Report live sweep cell counts and per-experiment row counts on "
@@ -172,6 +192,8 @@ def run_experiments(
     cache_dir: Optional[str] = None,
     progress: bool = False,
     hosts: Optional[Sequence[str]] = None,
+    prune_fraction: float = 0.0,
+    prune_slo_ms: Optional[float] = None,
 ) -> List[Tuple[str, ExperimentResult, float]]:
     """Run experiments over one shared sweep execution.
 
@@ -186,21 +208,25 @@ def run_experiments(
     individual run functions (e.g. a smaller ``sample_size`` for the
     offline-tuning figures).  ``cache_dir`` backs the sweep with an
     on-disk cell cache; ``progress`` streams live cell/row counts to
-    stderr via the runner's ``run_iter``.
+    stderr via the runner's ``run_iter``.  ``prune_fraction`` /
+    ``prune_slo_ms`` turn the sweep two-stage: the queueing surrogate
+    scores every cell and only the survivors are fully simulated
+    (pruned cells keep aborted placeholder rows carrying predictions).
     """
     context = EvaluationContext(settings)
     grid = collect_grid(names, settings)
     cache = SweepCache(cache_dir, settings) if cache_dir else None
+    prune = {"prune_fraction": prune_fraction, "prune_slo_ms": prune_slo_ms}
     if hosts is not None:
         # jobs is forwarded so a conflicting jobs>1 raises the runner's
         # mutual-exclusion error instead of being silently dropped, and
         # an *empty* hosts value is rejected loudly by the runner rather
         # than falling back to a serial sweep.
-        runner = SweepRunner(settings=settings, jobs=jobs, hosts=hosts, cache=cache)
+        runner = SweepRunner(settings=settings, jobs=jobs, hosts=hosts, cache=cache, **prune)
     elif jobs > 1:
-        runner = SweepRunner(settings=settings, jobs=jobs, cache=cache)
+        runner = SweepRunner(settings=settings, jobs=jobs, cache=cache, **prune)
     else:
-        runner = SweepRunner(context=context, cache=cache)
+        runner = SweepRunner(context=context, cache=cache, **prune)
     results = SweepResults()
     if progress:
         total = len(grid)
@@ -210,6 +236,9 @@ def run_experiments(
             hint = ""
             if cache is not None and cache.hits:
                 hint = f" ({cache.hits} from cache)"
+            pruned = len(results.pruned_keys())
+            if pruned:
+                hint += f" ({pruned} pruned by surrogate)"
             print(f"\r[sweep {total}/{total} cells]{hint}", file=sys.stderr)
     else:
         runner.run(grid, results=results)
@@ -249,6 +278,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # Surface malformed addresses as a usage error, not a
             # traceback from deep inside the sweep.
             parser.error(f"--hosts: {exc}")
+    if not 0.0 <= arguments.prune_fraction < 1.0:
+        parser.error("--prune-fraction must be within [0, 1)")
+    if arguments.prune_slo_ms is not None and arguments.prune_slo_ms <= 0:
+        parser.error("--prune-slo-ms must be positive")
 
     settings = EvaluationSettings(
         full_scale=arguments.full_scale,
@@ -266,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=arguments.cache,
         progress=arguments.progress,
         hosts=arguments.hosts,
+        prune_fraction=arguments.prune_fraction,
+        prune_slo_ms=arguments.prune_slo_ms,
     )
     total_elapsed = time.perf_counter() - start
     grid_size = len(collect_grid(names, settings))

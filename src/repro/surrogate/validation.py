@@ -1,0 +1,202 @@
+"""Quantify surrogate error against the simulator, grid by grid.
+
+The surrogate earns its place in the sweep pipeline only if its
+*ranking* of cells agrees with the simulator's — pruning keeps the best
+fraction of a grid, so rank correlation is the fidelity that matters —
+and its absolute errors stay bounded enough for SLO-based pruning.
+:func:`validate_grids` measures both on every registered experiment
+grid: each cell is fully simulated (with per-request records, so true
+latency percentiles are available) and scored by the surrogate, and the
+per-grid report carries Spearman rank correlations plus relative-error
+quantiles for throughput and tail latency.  ``tests/test_surrogate.py``
+asserts the bounds; the numbers themselves feed ``docs/sweeps.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.surrogate.features import extract_features
+from repro.surrogate.model import QueueingSurrogate, SurrogateEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.base import EvaluationContext, EvaluationSettings
+    from repro.sweeps.spec import SweepGrid
+
+
+def _ranks(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (ties share the mean rank), as Spearman needs."""
+    array = np.asarray(values, dtype=float)
+    order = np.argsort(array, kind="mergesort")
+    ranks = np.empty(len(array), dtype=float)
+    i = 0
+    while i < len(array):
+        j = i
+        while j + 1 < len(array) and array[order[j + 1]] == array[order[i]]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman_rank_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman's rho between two metric vectors (ties averaged).
+
+    Returns 1.0 for degenerate inputs (fewer than two points, or a
+    constant vector): a ranking nothing can contradict is trivially
+    preserved, and reports read better than a NaN.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("vectors must have equal length")
+    if len(xs) < 2:
+        return 1.0
+    rx, ry = _ranks(xs), _ranks(ys)
+    if np.allclose(rx, rx[0]) or np.allclose(ry, ry[0]):
+        return 1.0
+    return float(np.corrcoef(rx, ry)[0, 1])
+
+
+@dataclass(frozen=True)
+class CellValidation:
+    """One cell's simulated-vs-predicted comparison."""
+
+    label: str
+    simulated_throughput_rps: float
+    predicted_throughput_rps: float
+    simulated_latency_ms: float
+    predicted_latency_ms: float
+    estimate: SurrogateEstimate
+
+
+@dataclass(frozen=True)
+class GridValidationReport:
+    """Surrogate fidelity over one experiment grid.
+
+    Relative errors are ``|predicted − simulated| / simulated``; the
+    median is the headline (tail cells can legitimately disagree — the
+    simulator's transient effects are exactly what the surrogate
+    abstracts away), and rank correlations capture what pruning relies
+    on.
+    """
+
+    name: str
+    percentile: float
+    cells: Tuple[CellValidation, ...]
+    throughput_spearman: float
+    latency_spearman: float
+    median_throughput_error: float
+    median_latency_error: float
+    max_throughput_error: float
+    max_latency_error: float
+
+    @property
+    def cell_count(self) -> int:
+        """Number of compared cells."""
+        return len(self.cells)
+
+    def summary(self) -> str:
+        """One log-friendly line of the report's headline numbers."""
+        return (
+            f"{self.name}: {self.cell_count} cells, "
+            f"spearman thr={self.throughput_spearman:.2f} "
+            f"p{self.percentile:g}={self.latency_spearman:.2f}, "
+            f"median err thr={self.median_throughput_error:.0%} "
+            f"p{self.percentile:g}={self.median_latency_error:.0%}"
+        )
+
+
+def validate_grid(
+    name: str,
+    grid: "SweepGrid",
+    context: "EvaluationContext",
+    surrogate: Optional[QueueingSurrogate] = None,
+    percentile: float = 99.0,
+) -> GridValidationReport:
+    """Compare surrogate predictions to full simulations on one grid.
+
+    Every cell is simulated with per-request records kept, so the
+    simulated latency percentile is exact; predictions come from
+    :func:`~repro.surrogate.features.extract_features` +
+    :meth:`~repro.surrogate.model.QueueingSurrogate.estimate` on the
+    same shared context.
+    """
+    from repro.sweeps.runner import execute_cell
+
+    surrogate = surrogate or QueueingSurrogate()
+    cells: List[CellValidation] = []
+    for cell in grid:
+        estimate = surrogate.estimate(extract_features(context, cell))
+        result = execute_cell(context, cell, keep_requests=True)
+        latencies = [
+            request.end_to_end_latency_ms
+            for request in result.requests
+            if request.end_to_end_latency_ms is not None
+        ]
+        simulated_latency = float(np.percentile(latencies, percentile)) if latencies else 0.0
+        cells.append(
+            CellValidation(
+                label=cell.label(),
+                simulated_throughput_rps=result.throughput_rps,
+                predicted_throughput_rps=estimate.throughput_rps,
+                simulated_latency_ms=simulated_latency,
+                predicted_latency_ms=estimate.latency_ms(percentile),
+                estimate=estimate,
+            )
+        )
+    sim_thr = [c.simulated_throughput_rps for c in cells]
+    pred_thr = [c.predicted_throughput_rps for c in cells]
+    sim_lat = [c.simulated_latency_ms for c in cells]
+    pred_lat = [c.predicted_latency_ms for c in cells]
+
+    def errors(sim: Sequence[float], pred: Sequence[float]) -> List[float]:
+        return [
+            abs(p - s) / s for s, p in zip(sim, pred) if s > 0.0
+        ]
+
+    thr_errors = errors(sim_thr, pred_thr) or [0.0]
+    lat_errors = errors(sim_lat, pred_lat) or [0.0]
+    return GridValidationReport(
+        name=name,
+        percentile=percentile,
+        cells=tuple(cells),
+        throughput_spearman=spearman_rank_correlation(sim_thr, pred_thr),
+        latency_spearman=spearman_rank_correlation(sim_lat, pred_lat),
+        median_throughput_error=float(np.median(thr_errors)),
+        median_latency_error=float(np.median(lat_errors)),
+        max_throughput_error=float(max(thr_errors)),
+        max_latency_error=float(max(lat_errors)),
+    )
+
+
+def validate_grids(
+    settings: "EvaluationSettings",
+    names: Optional[Sequence[str]] = None,
+    context: Optional["EvaluationContext"] = None,
+    surrogate: Optional[QueueingSurrogate] = None,
+    percentile: float = 99.0,
+) -> Dict[str, GridValidationReport]:
+    """Run :func:`validate_grid` over registered experiment grids.
+
+    ``names`` defaults to every registered experiment whose grid is
+    non-empty under ``settings``; experiments that declare no serving
+    cells (table analyses, profile figures) are skipped.  One shared
+    context backs all grids, so boards, models and matrices are built
+    once per (device, task).
+    """
+    from repro.experiments import EXPERIMENT_GRIDS
+    from repro.experiments.base import EvaluationContext
+
+    context = context or EvaluationContext(settings)
+    surrogate = surrogate or QueueingSurrogate()
+    reports: Dict[str, GridValidationReport] = {}
+    for name in names if names is not None else sorted(EXPERIMENT_GRIDS):
+        grid = EXPERIMENT_GRIDS[name](settings)
+        if not grid:
+            continue
+        reports[name] = validate_grid(
+            name, grid, context, surrogate=surrogate, percentile=percentile
+        )
+    return reports

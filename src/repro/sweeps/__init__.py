@@ -21,13 +21,19 @@ data:
   as the shared result store of distributed sweeps (workers write, the
   coordinator verifies-on-load).
 
+Two-stage sweeps (``SweepRunner(prune_fraction=..., prune_slo_ms=...)``)
+insert :mod:`repro.surrogate`'s queueing model between the cache and the
+executor: every missing cell is scored analytically, predictably-bad
+cells are pruned (aborted placeholder results, never simulated, never
+cached), and only the survivors pay for full simulation.
+
 The distributed worker process lives in :mod:`repro.sweeps.worker`
 (console script ``coserve-sweep-worker``); ``docs/sweeps.md`` has a
 runnable multi-host walkthrough.
 """
 
 from repro.sweeps.spec import SweepCell, SweepGrid
-from repro.sweeps.cache import SweepCache, settings_fingerprint
+from repro.sweeps.cache import PRUNED_ABORT_PREFIX, SweepCache, settings_fingerprint
 from repro.sweeps.results import SweepResults
 from repro.sweeps.runner import (
     ProcessPoolExecutor,
@@ -42,6 +48,7 @@ from repro.sweeps.distributed import DistributedExecutor, parse_hosts
 
 __all__ = [
     "DistributedExecutor",
+    "PRUNED_ABORT_PREFIX",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "SweepCell",

@@ -24,19 +24,29 @@ import hashlib
 import json
 import os
 import pickle
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.sweeps.spec import SweepCell
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.base import EvaluationSettings
     from repro.simulation.results import SimulationResult
+    from repro.surrogate.model import SurrogateEstimate
+
+#: ``abort_reason`` prefix of placeholder results the surrogate pruned
+#: in lieu of simulating.  Defined here so the cache can refuse to
+#: persist them (placeholders are predictions, not results) without
+#: importing the runner.
+PRUNED_ABORT_PREFIX = "pruned by surrogate"
 
 #: Bump when the cached payload layout (or anything influencing results
 #: that is not captured by the settings fingerprint) changes.
 #: 2: ``SimulationResult`` grew ``aborted``/``abort_reason`` (sweep-level
 #: early aborts); entries pickled under the old layout must miss.
-CACHE_FORMAT_VERSION = 2
+#: 3: payloads carry the cell's surrogate ``estimate`` (two-stage pruned
+#: sweeps persist predictions next to results; pruned placeholders are
+#: never cached, so every entry remains a genuinely simulated cell).
+CACHE_FORMAT_VERSION = 3
 
 #: Settings fields that only *select* which cells a grid contains; a
 #: cell's simulated result depends on its own (system, device, task,
@@ -129,6 +139,18 @@ class SweepCache:
     # ------------------------------------------------------------------
     def load(self, cell: SweepCell) -> Optional["SimulationResult"]:
         """The cached result for a cell, or None on any kind of miss."""
+        entry = self.load_entry(cell)
+        return entry[0] if entry is not None else None
+
+    def load_entry(
+        self, cell: SweepCell
+    ) -> Optional[Tuple["SimulationResult", Optional["SurrogateEstimate"]]]:
+        """The cached ``(result, estimate)`` pair, or None on any miss.
+
+        The estimate slot is None for cells executed by a sweep that
+        never scored them (pruning disabled) — the payload always has
+        the key, the surrogate just may not have run.
+        """
         path = self.path_for(cell)
         try:
             with open(path, "rb") as handle:
@@ -150,15 +172,34 @@ class SweepCache:
             self.misses += 1
             return None
         self.hits += 1
-        return payload["result"]
+        return payload["result"], payload.get("estimate")
 
-    def store(self, cell: SweepCell, result: "SimulationResult") -> None:
-        """Persist one cell's result (atomic, last writer wins)."""
+    def store(
+        self,
+        cell: SweepCell,
+        result: "SimulationResult",
+        estimate: Optional["SurrogateEstimate"] = None,
+    ) -> None:
+        """Persist one cell's result (atomic, last writer wins).
+
+        ``estimate`` carries the surrogate prediction of a two-stage
+        sweep so later regenerations can surface predicted-vs-simulated
+        deltas without re-scoring; pruned placeholders must never reach
+        this method — only genuinely simulated results are cacheable.
+        """
+        if result.aborted and result.abort_reason and result.abort_reason.startswith(
+            PRUNED_ABORT_PREFIX
+        ):
+            raise ValueError(
+                f"refusing to cache surrogate-pruned placeholder for {cell.label()}; "
+                "the cache must only ever hold simulated results"
+            )
         path = self.path_for(cell)
         payload = {
             "cell_key": cell.key,
             "fingerprint": self.fingerprint,
             "result": result,
+            "estimate": estimate,
         }
         temporary = f"{path}.tmp.{os.getpid()}"
         with open(temporary, "wb") as handle:

@@ -15,8 +15,12 @@ pickles over TCP with an HMAC challenge-response handshake keyed by a
 shared secret (``COSERVE_SWEEP_AUTHKEY``; a well-known default keeps
 localhost walkthroughs zero-config).  The protocol is seven message
 kinds, coordinator-to-worker ``hello`` / ``lease`` / ``bye`` and
-worker-to-coordinator ``ready`` / ``result`` / ``lease_done`` /
+worker-to-coordinator ``ready`` / ``lease_results`` / ``lease_done`` /
 ``error`` — see :mod:`repro.sweeps.worker` for the worker's side.
+Results come back batched, one ``lease_results`` message per lease
+(the coordinator also accepts the pre-batching per-cell ``result``
+form, so a newer coordinator can drive an older worker fleet
+mid-upgrade).
 
 Fault model: a lease is acknowledged only by its ``lease_done``
 message.  If a worker's connection drops first — a process crash closes
@@ -551,7 +555,13 @@ class DistributedExecutor(SweepExecutor):
                 while True:
                     message = connection.recv()
                     kind = message[0]
-                    if kind == "result":
+                    if kind == "lease_results":
+                        _, _, pairs = message
+                        for cell, result in pairs:
+                            state.queue.put(("result", cell, result))
+                    elif kind == "result":
+                        # Pre-batching workers stream one message per
+                        # cell; accept it so mixed fleets keep working.
                         _, _, cell, result = message
                         state.queue.put(("result", cell, result))
                     elif kind == "lease_done":

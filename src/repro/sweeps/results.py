@@ -5,14 +5,23 @@
 modules assemble their rows by looking cells up here instead of calling
 the simulator directly, which is what lets one execution of the unioned
 grid feed every figure.
+
+Two-stage (surrogate-pruned) sweeps annotate the store further: every
+scored cell can carry its
+:class:`~repro.surrogate.model.SurrogateEstimate` alongside the
+simulated result, and cells the surrogate pruned are marked so reports
+can separate predicted-only placeholders from simulated rows.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.simulation.results import SimulationResult
 from repro.sweeps.spec import CellKey, SweepCell, SweepGrid
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.surrogate.model import SurrogateEstimate
 
 
 class SweepResults:
@@ -25,6 +34,8 @@ class SweepResults:
 
     def __init__(self) -> None:
         self._by_key: Dict[CellKey, SimulationResult] = {}
+        self._estimates: Dict[CellKey, "SurrogateEstimate"] = {}
+        self._pruned: Set[CellKey] = set()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -39,7 +50,21 @@ class SweepResults:
     def merge(self, other: "SweepResults") -> None:
         """Fold another store in; on overlap this store's result wins."""
         for key, result in other._by_key.items():
-            self._by_key.setdefault(key, result)
+            if key not in self._by_key:
+                self._by_key[key] = result
+                # The pruned mark travels with the winning result.
+                if key in other._pruned:
+                    self._pruned.add(key)
+        for key, estimate in other._estimates.items():
+            self._estimates.setdefault(key, estimate)
+
+    def record_estimate(self, cell: SweepCell, estimate: "SurrogateEstimate") -> None:
+        """Attach a surrogate estimate to a cell (simulated or not)."""
+        self._estimates[cell.key] = estimate
+
+    def mark_pruned(self, cell: SweepCell) -> None:
+        """Flag the cell's stored result as a surrogate-pruned placeholder."""
+        self._pruned.add(cell.key)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -72,7 +97,7 @@ class SweepResults:
         return iter(self._by_key.items())
 
     # ------------------------------------------------------------------
-    # Early-abort markers
+    # Early-abort and pruning markers
     # ------------------------------------------------------------------
     def is_aborted(self, cell: SweepCell) -> bool:
         """Whether the cell's stored run stopped early (e.g. SLO abort)."""
@@ -84,6 +109,23 @@ class SweepResults:
         Sweep-level early aborts (cells declaring ``slo_target_ms``)
         store the partial result of the violated run; this surfaces
         them so harnesses and reports can separate doomed cells from
-        completed ones.
+        completed ones.  Surrogate-pruned placeholders are aborted too;
+        :meth:`pruned_keys` narrows to just those.
         """
         return [key for key, result in self._by_key.items() if result.aborted]
+
+    def is_pruned(self, cell: SweepCell) -> bool:
+        """Whether the cell's stored result is a surrogate-pruned placeholder."""
+        return cell.key in self._pruned
+
+    def pruned_keys(self) -> List[CellKey]:
+        """Keys whose stored result was predicted, not simulated."""
+        return [key for key in self._by_key if key in self._pruned]
+
+    def estimate_for(self, cell: SweepCell) -> Optional["SurrogateEstimate"]:
+        """The cell's surrogate estimate, if the sweep scored it."""
+        return self._estimates.get(cell.key)
+
+    def estimates(self) -> Iterator[Tuple[CellKey, "SurrogateEstimate"]]:
+        """Iterate ``(cell key, estimate)`` pairs in recording order."""
+        return iter(self._estimates.items())

@@ -9,15 +9,18 @@ and 14 serve the exact same 40 runs, as do Figures 15 and 16) are
 simulated once.
 
 Cells are identified by ``(system, device, task, overrides)``; the
-``tags`` field records which experiments requested a cell and is
-excluded from identity, so the union merges tags instead of duplicating
-work.  Both classes are frozen dataclasses built from tuples, which
-keeps them hashable and picklable — a requirement for shipping grids to
-:class:`~repro.sweeps.runner.SweepRunner` worker processes.
+``tags`` field records which experiments requested a cell and the
+``pin`` field exempts a cell from surrogate pruning — both are excluded
+from identity, so the union merges tags (and keeps any pin) instead of
+duplicating work.  Both classes are frozen dataclasses built from
+tuples, which keeps them hashable and picklable — a requirement for
+shipping grids to :class:`~repro.sweeps.runner.SweepRunner` worker
+processes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
@@ -34,6 +37,11 @@ class SweepCell:
     task: str
     overrides: Tuple[Tuple[str, object], ...] = ()
     tags: Tuple[str, ...] = ()
+    #: Exempt from surrogate pruning (see ``SweepRunner``'s
+    #: ``prune_fraction``/``prune_slo_ms``): a pinned cell is always
+    #: fully simulated.  Excluded from identity — a pinned cell and its
+    #: unpinned twin are the same simulation.
+    pin: bool = False
 
     @classmethod
     def make(
@@ -42,6 +50,7 @@ class SweepCell:
         device: str,
         task: str,
         tags: Sequence[str] = (),
+        pin: bool = False,
         **overrides: object,
     ) -> "SweepCell":
         """Build a cell with keyword serve-overrides in canonical order."""
@@ -51,6 +60,7 @@ class SweepCell:
             task=task,
             overrides=tuple(sorted(overrides.items())),
             tags=tuple(tags),
+            pin=pin,
         )
 
     @property
@@ -74,7 +84,11 @@ class SweepCell:
 
     def with_tags(self, tags: Sequence[str]) -> "SweepCell":
         """The same cell (identical identity) carrying different tags."""
-        return SweepCell(self.system, self.device, self.task, self.overrides, tuple(tags))
+        return dataclasses.replace(self, tags=tuple(tags))
+
+    def pinned(self) -> "SweepCell":
+        """The same cell (identical identity), exempt from pruning."""
+        return dataclasses.replace(self, pin=True)
 
     def label(self) -> str:
         """Compact human-readable form used in logs and errors."""
@@ -138,9 +152,15 @@ class SweepGrid:
             existing = merged.get(cell.key)
             if existing is None:
                 merged[cell.key] = cell
-            elif cell.tags:
+                continue
+            if cell.tags:
                 tags = existing.tags + tuple(t for t in cell.tags if t not in existing.tags)
-                merged[cell.key] = existing.with_tags(tags)
+                existing = existing.with_tags(tags)
+            if cell.pin and not existing.pin:
+                # Any requester's pin survives the union: pruning must
+                # never drop a cell some experiment insists on.
+                existing = existing.pinned()
+            merged[cell.key] = existing
         return SweepGrid(tuple(merged.values()))
 
     def __or__(self, other: "SweepGrid") -> "SweepGrid":

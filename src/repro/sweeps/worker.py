@@ -24,11 +24,20 @@ coordinator sends  ``("hello", settings, cache_dir, fingerprint)``
                    once, then any number of
                    ``("lease", lease_id, cells)``, then ``("bye",)``.
 worker sends       ``("ready", worker_name)`` after building its
-                   context, one ``("result", lease_id, cell, result)``
-                   per cell, ``("lease_done", lease_id)`` after each
-                   completed lease, and ``("error", lease_id,
-                   message)`` if a cell raises.
+                   context, one ``("lease_results", lease_id,
+                   ((cell, result), ...))`` per lease,
+                   ``("lease_done", lease_id)`` after each completed
+                   lease, and ``("error", lease_id, message)`` if a
+                   cell raises.
 =================  ==================================================
+
+Results are batched per lease: executing a lease's cells produces one
+``lease_results`` message instead of a framed pickle per cell, which
+collapses the coordinator round-trips of large grids (the simulator
+output dominates the payload either way).  A crashing worker still
+flushes the partial batch it has computed *before* vanishing, so the
+crash fault model is unchanged: delivered results are never lost, only
+unacknowledged ones are re-executed.
 
 ``lease_done`` is the acknowledgement the coordinator's fault handling
 keys on: results may stream back and still be followed by a dead
@@ -192,8 +201,7 @@ class SweepWorker:
                 return
             _, lease_id, cells = message
             try:
-                for cell in cells:
-                    self._execute_one(connection, lease_id, cell, context, cache)
+                self._execute_lease(connection, lease_id, cells, context, cache)
             except (OSError, EOFError):
                 raise  # dead coordinator: back to accepting
             except SystemExit:
@@ -203,28 +211,40 @@ class SweepWorker:
                 return
             connection.send(("lease_done", lease_id))
 
-    def _execute_one(
+    def _execute_lease(
         self,
         connection: Connection,
         lease_id: int,
-        cell: SweepCell,
+        cells: Sequence[SweepCell],
         context: EvaluationContext,
         cache: Optional[SweepCache],
     ) -> None:
-        """Execute (or cache-load) one cell and stream its result back."""
-        result = cache.load(cell) if cache is not None else None
-        if result is None:
-            result = execute_cell(context, cell)
-            if cache is not None:
-                cache.store(cell, result)
-        connection.send(("result", lease_id, cell, result))
-        self.cells_sent += 1
-        if self.max_cells is not None and self.cells_sent >= self.max_cells:
-            # Simulated crash: vanish without acknowledging the lease,
-            # exactly like a killed host.  The coordinator must re-lease
-            # this lease's remaining cells.
-            connection.close()
-            raise SystemExit(0)
+        """Execute (or cache-load) a lease's cells; reply with one batch.
+
+        The whole lease comes back as a single ``lease_results`` message
+        rather than one framed pickle per cell.  An injected crash
+        (``max_cells``) flushes the partial batch first and then vanishes
+        *without* the ``lease_done`` acknowledgement — byte-for-byte the
+        delivery a killed host would have managed, which is what the
+        re-lease fault-tolerance tests stand on.
+        """
+        pairs: List[Tuple[SweepCell, object]] = []
+        for cell in cells:
+            result = cache.load(cell) if cache is not None else None
+            if result is None:
+                result = execute_cell(context, cell)
+                if cache is not None:
+                    cache.store(cell, result)
+            pairs.append((cell, result))
+            self.cells_sent += 1
+            if self.max_cells is not None and self.cells_sent >= self.max_cells:
+                # Simulated crash: flush what was computed, then vanish
+                # without acknowledging the lease, exactly like a killed
+                # host.  The coordinator must re-lease the remainder.
+                connection.send(("lease_results", lease_id, tuple(pairs)))
+                connection.close()
+                raise SystemExit(0)
+        connection.send(("lease_results", lease_id, tuple(pairs)))
 
 
 # ----------------------------------------------------------------------

@@ -116,6 +116,79 @@ class TestBatching:
         assert list(ProcessPoolExecutor(TINY_SETTINGS, jobs=4).run_iter([])) == []
 
 
+class TestLeaseResultBatching:
+    def test_one_lease_results_message_per_lease(self, grid, serial_results):
+        """Speak the wire protocol directly: a lease's results must come
+        back as a single ``lease_results`` batch followed by the
+        ``lease_done`` acknowledgement — not one framed pickle per cell."""
+        from multiprocessing.connection import Client
+
+        from repro.sweeps.cache import settings_fingerprint
+        from repro.sweeps.distributed import sweep_authkey
+
+        cells = tuple(grid)[:3]
+        with spawn_local_workers(1) as pool:
+            address = parse_hosts(pool.hosts)[0]
+            connection = Client(address, authkey=sweep_authkey())
+            try:
+                connection.send(
+                    ("hello", TINY_SETTINGS, None, settings_fingerprint(TINY_SETTINGS))
+                )
+                assert connection.recv()[0] == "ready"
+                connection.send(("lease", 0, cells))
+                messages = [connection.recv(), connection.recv()]
+                connection.send(("bye",))
+            finally:
+                connection.close()
+        kinds = [message[0] for message in messages]
+        assert kinds == ["lease_results", "lease_done"], kinds
+        _, lease_id, pairs = messages[0]
+        assert lease_id == 0
+        assert [cell.key for cell, _ in pairs] == [cell.key for cell in cells]
+        for cell, result in pairs:
+            assert result == serial_results[cell], f"{cell.label()} diverged"
+
+    def test_coordinator_accepts_legacy_per_cell_results(self, grid, serial_results):
+        """A pre-batching worker streams ``("result", lease_id, cell,
+        result)`` messages; the coordinator must still consume them so a
+        mixed fleet keeps working mid-upgrade."""
+        import threading
+        from collections import deque
+        from multiprocessing.connection import Listener
+
+        from repro.sweeps.distributed import _Lease, _SweepState, sweep_authkey
+
+        cells = tuple(grid)[:2]
+        pairs = [(cell, serial_results[cell]) for cell in cells]
+        listener = Listener(("127.0.0.1", 0), authkey=sweep_authkey())
+
+        def legacy_worker():
+            connection = listener.accept()
+            try:
+                assert connection.recv()[0] == "hello"
+                connection.send(("ready", "legacy"))
+                message = connection.recv()
+                assert message[0] == "lease"
+                lease_id = message[1]
+                for cell, result in pairs:
+                    connection.send(("result", lease_id, cell, result))
+                connection.send(("lease_done", lease_id))
+                assert connection.recv()[0] == "bye"
+            finally:
+                connection.close()
+
+        thread = threading.Thread(target=legacy_worker, daemon=True)
+        thread.start()
+        host, port = listener.address
+        executor = DistributedExecutor([(host, port)], settings=TINY_SETTINGS)
+        delivered = dict(executor.run_iter(list(cells)))
+        thread.join(10)
+        listener.close()
+        assert len(delivered) == len(cells)
+        for cell in cells:
+            assert delivered[cell] == serial_results[cell]
+
+
 class TestWorkerCrash:
     def test_crashed_workers_cells_are_releases_to_survivors(self, grid, serial_results):
         """A worker dying mid-batch (after streaming one result, before

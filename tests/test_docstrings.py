@@ -15,7 +15,7 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Paths the documentation suite gates, relative to the repository root.
-GATED_PATHS = ("src/repro/sweeps", "src/repro/simulation/session.py")
+GATED_PATHS = ("src/repro/sweeps", "src/repro/surrogate", "src/repro/simulation/session.py")
 
 
 def test_gated_packages_have_full_public_docstrings():

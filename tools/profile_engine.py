@@ -9,13 +9,18 @@ remaining wall time go.  Three modes:
 * ``serving`` — a full arrival-cursor ``session.run()`` over a lazy
   stream (generation inlined, the production shape);
 * ``preredesign`` — the preserved pre-PR pipeline (scalar reference
-  generation + heap-seeded monolithic loop) for before/after diffs.
+  generation + heap-seeded monolithic loop) for before/after diffs;
+* ``sweep`` — a serial multi-system sweep over one (device, task)
+  pair, optionally two-stage (``--prune-fraction``), so the split
+  between surrogate scoring, shared profiling, and per-cell
+  simulation shows up in one stats table.
 
 Usage::
 
     PYTHONPATH=src python tools/profile_engine.py --mode serving --requests 200000
     PYTHONPATH=src python tools/profile_engine.py --mode generation --reference
     PYTHONPATH=src python tools/profile_engine.py --mode serving --million --sort tottime
+    PYTHONPATH=src python tools/profile_engine.py --mode sweep --prune-fraction 0.5
 
 The profile prints to stdout; ``--output`` additionally dumps the raw
 stats for ``snakeviz``/``pstats`` post-processing.
@@ -98,16 +103,57 @@ def _run_preredesign(board, model, num_requests: int) -> None:
     preredesign_run(_build_simulation(model), stream)
 
 
+#: Sweep mode profiles every registered system on one (device, task)
+#: pair — the same shape the sweep benchmarks time, small enough that
+#: the profile turns around in seconds.
+_SWEEP_SYSTEMS = (
+    "samba-coe",
+    "samba-coe-fifo",
+    "samba-coe-parallel",
+    "coserve-best",
+    "coserve-casual",
+    "coserve-none",
+    "coserve-em",
+    "coserve-em-ra",
+    "coserve",
+)
+
+
+def _run_sweep(num_requests: int, prune_fraction: float) -> None:
+    from repro.experiments.base import EvaluationSettings
+    from repro.sweeps import SweepCell, SweepGrid, SweepRunner
+
+    settings = EvaluationSettings(
+        full_scale=False,
+        reduced_requests=num_requests,
+        devices=("numa",),
+        task_names=("A1",),
+    )
+    grid = SweepGrid.union(
+        *(
+            SweepGrid.single(SweepCell.make(system, "numa", "A1"))
+            for system in _SWEEP_SYSTEMS
+        )
+    )
+    SweepRunner(settings=settings, prune_fraction=prune_fraction).run(grid)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--mode",
-        choices=("generation", "serving", "preredesign"),
+        choices=("generation", "serving", "preredesign", "sweep"),
         default="serving",
         help="what to profile (default: serving — the production shape)",
     )
     parser.add_argument(
         "--requests", type=int, default=200_000, help="stream length (default: 200000)"
+    )
+    parser.add_argument(
+        "--prune-fraction",
+        type=float,
+        default=0.0,
+        help="sweep mode: surrogate-prune this fraction before simulating",
     )
     parser.add_argument(
         "--million", action="store_true", help="shorthand for --requests 1000000"
@@ -131,14 +177,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     num_requests = 1_000_000 if args.million else args.requests
-    board, model = _build_case()
 
-    if args.mode == "generation":
-        target = lambda: _run_generation(board, model, num_requests, args.reference)
-    elif args.mode == "serving":
-        target = lambda: _run_serving(board, model, num_requests)
+    if args.mode == "sweep":
+        # The sweep builds its own workloads; the request count is
+        # clamped by the task definition, so pass something sweep-sized.
+        num_requests = min(num_requests, 2_000)
+        target = lambda: _run_sweep(num_requests, args.prune_fraction)
     else:
-        target = lambda: _run_preredesign(board, model, num_requests)
+        board, model = _build_case()
+        if args.mode == "generation":
+            target = lambda: _run_generation(board, model, num_requests, args.reference)
+        elif args.mode == "serving":
+            target = lambda: _run_serving(board, model, num_requests)
+        else:
+            target = lambda: _run_preredesign(board, model, num_requests)
 
     profiler = cProfile.Profile()
     start = time.perf_counter()
