@@ -12,6 +12,8 @@ Console scripts:
   (serial, ``--jobs N`` process-pool, or ``--hosts`` distributed).
 - ``coserve-sweep-worker`` — one per host of a distributed sweep; see
   ``docs/sweeps.md`` for the walkthrough.
+- ``coserve-lint`` — the AST-based invariant analyzer enforcing the
+  architecture/determinism/reference rules; see ``docs/lint.md``.
 
 The test/benchmark suites run straight off the tree instead
 (``PYTHONPATH=src python -m pytest``).
@@ -21,9 +23,9 @@ from setuptools import find_packages, setup
 
 setup(
     name="coserve-repro",
-    version="0.5.0",
+    version="0.6.0",
     description="Reproduction of CoServe (ASPLOS 2025): expert-serving simulation, "
-    "experiments, and distributed sweep infrastructure",
+    "experiments, distributed sweep infrastructure, and invariant lint tooling",
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
@@ -32,6 +34,7 @@ setup(
         "console_scripts": [
             "coserve-experiments=repro.experiments.cli:main",
             "coserve-sweep-worker=repro.sweeps.worker:main",
+            "coserve-lint=repro.lint.cli:main",
         ]
     },
 )

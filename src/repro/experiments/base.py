@@ -81,7 +81,7 @@ class ExperimentResult:
         return buffer.getvalue()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvaluationSettings:
     """Workload scaling knobs shared by the serving experiments.
 

@@ -1,0 +1,97 @@
+"""Committed-baseline support: accepted historical findings.
+
+A baseline is a JSON file of diagnostics the team has consciously
+accepted (typically when a new rule lands against existing code and the
+fixes are split over follow-up PRs).  Entries are keyed by ``(path,
+rule, message)`` — no line numbers, so unrelated edits never resurrect
+a baselined finding — and each key carries a count, so *new* instances
+of an already-baselined violation still fail.
+
+The project keeps its baseline at ``lint-baseline.json`` in the
+repository root; the intent is for it to stay empty — deliberate
+exceptions belong inline (``# repro-lint: disable=RULE`` plus a
+justification comment) where reviewers see them next to the code.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Counter as CounterType, Dict, Iterable, List, Tuple
+
+from repro.lint.diagnostics import Diagnostic
+
+#: ``(path, rule, message)`` — the location-insensitive identity shared
+#: with :attr:`~repro.lint.diagnostics.Diagnostic.key`.
+BaselineKey = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of accepted findings, loadable from / savable to JSON."""
+
+    def __init__(self, entries: Iterable[BaselineKey] = ()) -> None:
+        self.entries: CounterType[BaselineKey] = Counter(entries)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Baseline":
+        """Load a baseline file; raises ``ValueError`` on a bad document."""
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict) or document.get("version") != 1:
+            raise ValueError(f"{path}: not a version-1 repro-lint baseline")
+        entries = []
+        for raw in document.get("entries", []):
+            entries.append((str(raw["path"]), str(raw["rule"]), str(raw["message"])))
+        return cls(entries)
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        """Baseline exactly the given findings (``--write-baseline``)."""
+        return cls(diagnostic.key for diagnostic in diagnostics)
+
+    def save(self, path: str) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        entries: List[Dict[str, str]] = []
+        for (entry_path, rule, message), count in sorted(self.entries.items()):
+            entries.extend(
+                {"path": entry_path, "rule": rule, "message": message}
+                for _ in range(count)
+            )
+        document = {"version": 1, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def matcher(self) -> "BaselineMatcher":
+        """A single-run consumer of this baseline's entry budget."""
+        return BaselineMatcher(self)
+
+
+class BaselineMatcher:
+    """Per-run state: consume baseline entries as findings match them.
+
+    Each entry absorbs at most ``count`` findings of its key; whatever
+    budget is left at the end of the run is stale (the violation was
+    fixed but its entry lingers) and is surfaced by :meth:`stale`.
+    """
+
+    def __init__(self, baseline: Baseline) -> None:
+        self._remaining: CounterType[BaselineKey] = Counter(baseline.entries)
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        """Consume one budget unit for ``diagnostic`` if available."""
+        key = diagnostic.key
+        if self._remaining.get(key, 0) > 0:
+            self._remaining[key] -= 1
+            return True
+        return False
+
+    def stale(self) -> List[BaselineKey]:
+        """Baseline entries no finding matched this run."""
+        leftovers: List[BaselineKey] = []
+        for key, count in sorted(self._remaining.items()):
+            leftovers.extend(key for _ in range(count))
+        return leftovers

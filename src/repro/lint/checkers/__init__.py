@@ -1,0 +1,28 @@
+"""Built-in checkers.  Importing this package registers all of them.
+
+One module per invariant family; each defines one or more
+:class:`~repro.lint.core.Checker` subclasses decorated with
+:func:`~repro.lint.core.register`:
+
+========  ==========================  =====================================
+code      name                        module
+========  ==========================  =====================================
+RL001     ``layering``                :mod:`repro.lint.checkers.layering`
+RL002     ``unseeded-rng``            :mod:`repro.lint.checkers.determinism`
+RL003     ``wall-clock``              :mod:`repro.lint.checkers.determinism`
+RL004     ``set-iteration``           :mod:`repro.lint.checkers.determinism`
+RL005     ``reference-isolation``     :mod:`repro.lint.checkers.reference`
+RL006     ``picklability``            :mod:`repro.lint.checkers.pickling`
+RL007     ``observer-purity``         :mod:`repro.lint.checkers.observers`
+RL008     ``docstrings``              :mod:`repro.lint.checkers.docstrings`
+========  ==========================  =====================================
+"""
+
+from repro.lint.checkers import (  # noqa: F401  (registration side effects)
+    determinism,
+    docstrings,
+    layering,
+    observers,
+    pickling,
+    reference,
+)

@@ -1,0 +1,190 @@
+"""RL002/RL003/RL004 — determinism inside the result-affecting packages.
+
+Bit-identical reference equivalence — the invariant every optimisation
+PR is held to — only survives if the packages that influence simulated
+results never consult ambient nondeterminism.  Within
+:data:`DETERMINISM_PACKAGES`:
+
+- **RL002** bans the process-global RNGs: calls through the ``random``
+  module (seed state is interpreter-global) and sampling through
+  ``np.random.*`` (the legacy global generator).  All randomness must
+  thread through an explicitly seeded generator —
+  ``np.random.default_rng(seed)`` or ``random.Random(seed)`` — passed
+  down from the workload seed.
+- **RL003** bans wall-clock reads (``time.time``, ``perf_counter``,
+  ``monotonic`` and friends): virtual time comes from the event loop,
+  and a wall-clock read in result-affecting code is either dead or a
+  nondeterminism bug.  Benchmarks and CLI progress reporting live
+  outside these packages and are unaffected.
+- **RL004** bans iterating a ``set``/``frozenset`` constructed in the
+  loop header: set iteration order is hash-seed-dependent across
+  interpreter runs for str keys.  Sort first (``sorted(...)``) or keep
+  insertion-ordered structures (dicts, lists).  The checker sees only
+  syntactic set construction — ``for x in set(...)``, set literals,
+  set comprehensions — which is precisely the form that smuggles
+  nondeterminism past review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Checker, FileContext, register
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.checkers.util import dotted_chain
+
+#: Packages whose code influences simulated results.  ``sweeps`` and
+#: ``experiments`` orchestrate but never decide virtual-time outcomes,
+#: so their progress timers stay legal.
+DETERMINISM_PACKAGES = frozenset(
+    {"simulation", "workload", "policies", "scheduling", "serving"}
+)
+
+#: ``np.random`` attributes that *construct seeded generators* rather
+#: than sample from the global one.
+_SEEDED_NP_CONSTRUCTORS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "PCG64DXSM", "Philox", "MT19937", "SFC64"}
+)
+
+#: ``random`` attributes that construct independent generators.
+_SEEDED_RANDOM_CONSTRUCTORS = frozenset({"Random"})
+
+#: Wall-clock functions of the ``time`` module.
+_CLOCK_FUNCTIONS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+     "monotonic_ns", "process_time", "process_time_ns"}
+)
+
+
+class _DeterminismChecker(Checker):
+    """Shared scoping: only the result-affecting packages are checked."""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Restrict to :data:`DETERMINISM_PACKAGES`."""
+        return ctx.package in DETERMINISM_PACKAGES
+
+
+@register
+class UnseededRNGChecker(_DeterminismChecker):
+    """RL002: all randomness must thread through a seeded generator."""
+
+    code = "RL002"
+    name = "unseeded-rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag global-RNG imports and calls."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _SEEDED_RANDOM_CONSTRUCTORS:
+                            yield ctx.diagnostic(
+                                node,
+                                self.code,
+                                f"'from random import {alias.name}' binds the "
+                                "process-global RNG; thread an explicit "
+                                "random.Random(seed) or np.random.default_rng(seed)",
+                            )
+                elif node.module in ("numpy.random",):
+                    for alias in node.names:
+                        if alias.name not in _SEEDED_NP_CONSTRUCTORS:
+                            yield ctx.diagnostic(
+                                node,
+                                self.code,
+                                f"'from numpy.random import {alias.name}' samples the "
+                                "global generator; use np.random.default_rng(seed)",
+                            )
+            elif isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if parts[0] == "random" and len(parts) == 2:
+                    if parts[1] not in _SEEDED_RANDOM_CONSTRUCTORS:
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"call to 'random.{parts[1]}' uses the process-global "
+                            "RNG; thread an explicit seeded generator instead",
+                        )
+                elif parts[0] in ("np", "numpy") and len(parts) == 3 and parts[1] == "random":
+                    if parts[2] not in _SEEDED_NP_CONSTRUCTORS:
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"call to '{parts[0]}.random.{parts[2]}' samples numpy's "
+                            "global generator; use a seeded np.random.default_rng",
+                        )
+
+
+@register
+class WallClockChecker(_DeterminismChecker):
+    """RL003: virtual time only — no wall-clock reads."""
+
+    code = "RL003"
+    name = "wall-clock"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag ``time.<clock>()`` calls and ``from time import <clock>``."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_FUNCTIONS:
+                        yield ctx.diagnostic(
+                            node,
+                            self.code,
+                            f"'from time import {alias.name}' in result-affecting "
+                            "code; simulated time comes from the event loop",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = dotted_chain(node.func)
+                if chain is None:
+                    continue
+                parts = chain.split(".")
+                if len(parts) == 2 and parts[0] == "time" and parts[1] in _CLOCK_FUNCTIONS:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"wall-clock read 'time.{parts[1]}()' in result-affecting "
+                        "code; simulated time comes from the event loop",
+                    )
+
+
+@register
+class SetIterationChecker(_DeterminismChecker):
+    """RL004: never iterate a freshly built set in result-affecting loops."""
+
+    code = "RL004"
+    name = "set-iteration"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag for-loops and comprehensions whose iterable is a set."""
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if self._is_set_expression(candidate):
+                    yield ctx.diagnostic(
+                        candidate,
+                        self.code,
+                        "iteration over an unordered set; wrap in sorted(...) or "
+                        "use an insertion-ordered structure",
+                    )
+
+    @staticmethod
+    def _is_set_expression(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            # `queued - resident` style set algebra keeps set type.
+            return SetIterationChecker._is_set_expression(node.left) or \
+                SetIterationChecker._is_set_expression(node.right)
+        return False

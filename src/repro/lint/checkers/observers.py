@@ -1,0 +1,149 @@
+"""RL007 — observers watch; they do not steer.
+
+The ``SimObserver`` hook surface exists so metrics, timelines and SLO
+monitors can attach to a session without perturbing it — the
+observer-equivalence suite asserts that a run with observers produces
+bit-identical results to one without.  That only holds while observers
+treat engine-owned objects (the session, events, and everything
+reachable through them: requests, executors, pools) as read-only.
+
+The one sanctioned mutation is ``session.abort(reason)``: stopping the
+run early is the API's designed intervention point (how ``SLOMonitor``
+works), and an aborted run is *marked* aborted rather than silently
+different.
+
+The checker finds observer classes both nominally (a ``SimObserver``
+base) and structurally (any ``on_<hook>`` method definition, since the
+protocol is structural — ``repro.metrics`` attaches without importing
+the simulator).  Inside hook methods it taints the hook's non-``self``
+parameters and simple local aliases of them, then flags attribute
+assignments, deletions, and known-mutator method calls on tainted
+chains.  Observer-owned state (``self.*``) stays freely mutable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.core import Checker, FileContext, register
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.checkers.util import root_name
+
+#: The session hook surface (kept in sync with
+#: ``repro.simulation.session.SimObserver``; ``tests/test_lint.py``
+#: asserts the sync).
+OBSERVER_HOOKS = frozenset(
+    {
+        "on_attach",
+        "on_request_arrival",
+        "on_job_dispatch",
+        "on_batch_start",
+        "on_expert_load",
+        "on_expert_evict",
+        "on_tier_migration",
+        "on_request_completion",
+        "on_finish",
+    }
+)
+
+#: Method names that mutate their receiver.  Deliberately includes the
+#: session's own driving methods: an observer re-entering ``step()``
+#: mid-dispatch would corrupt the event loop.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "remove", "discard", "pop",
+        "popitem", "clear", "update", "setdefault", "sort", "reverse",
+        "step", "run", "run_until", "load", "unload", "evict", "enqueue",
+        "dispatch", "push", "reset",
+    }
+)
+
+#: The sanctioned intervention surface.
+_SANCTIONED = frozenset({"abort"})
+
+
+@register
+class ObserverPurityChecker(Checker):
+    """Flag engine-state mutation inside observer hooks."""
+
+    code = "RL007"
+    name = "observer-purity"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Audit every hook method of every observer-shaped class."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_observer_class(node):
+                for statement in node.body:
+                    if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if statement.name in OBSERVER_HOOKS:
+                            yield from self._check_hook(ctx, statement)
+
+    def _check_hook(self, ctx: FileContext, hook: ast.FunctionDef) -> Iterator[Diagnostic]:
+        parameters = [argument.arg for argument in hook.args.args]
+        tainted: Set[str] = set(parameters[1:])  # everything but self
+        if not tainted:
+            return
+        for node in ast.walk(hook):
+            # Simple alias tracking: `request = event.request` taints
+            # `request` too (reads through it are fine; writes are not).
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.expr):
+                value_root = root_name(node.value)
+                if value_root in tainted:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            tainted.add(target.id)
+            yield from self._check_node(ctx, node, tainted)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, tainted: Set[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = root_name(target)
+                    if root in tainted:
+                        yield ctx.diagnostic(
+                            target,
+                            self.code,
+                            f"observer hook assigns to engine-owned state "
+                            f"(rooted at '{root}'); observers are read-only "
+                            "apart from session.abort()",
+                        )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    root = root_name(target)
+                    if root in tainted:
+                        yield ctx.diagnostic(
+                            target,
+                            self.code,
+                            f"observer hook deletes engine-owned state "
+                            f"(rooted at '{root}')",
+                        )
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in _SANCTIONED or method not in _MUTATORS:
+                return
+            root = root_name(node.func.value)
+            if root in tainted:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"observer hook calls mutating method '.{method}()' on "
+                    f"engine-owned state (rooted at '{root}'); observers are "
+                    "read-only apart from session.abort()",
+                )
+
+
+def _is_observer_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", None)
+        if name == "SimObserver":
+            return True
+    return any(
+        isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and statement.name in OBSERVER_HOOKS
+        for statement in node.body
+    )

@@ -1,0 +1,173 @@
+"""RL006 — process-boundary types must pickle structurally.
+
+Grids, cells, settings, results and estimates travel between the
+coordinator, ``--jobs`` pool workers and ``coserve-sweep-worker``
+fleets as pickles, and land on disk in the sweep cache.  Types that
+cross that boundary must be *structural*: slotted dataclasses,
+namedtuples, or classes that define their own pickling protocol
+(``__reduce__`` / ``__getstate__``), so payloads are lean, stable
+across code motion, and can never capture an unpicklable closure.
+This generalises the ``LazyRequestStream`` picklable-partial rule:
+its factory is a ``functools.partial`` over a *named module-level
+function* precisely so it survives the trip.
+
+The checker audits the declared :data:`BOUNDARY_MODULES` and flags:
+
+- a class that is neither a slotted dataclass, a namedtuple/``tuple``
+  subclass, an ``Enum``, an exception, nor a definer of
+  ``__reduce__``/``__getstate__``;
+- a ``lambda`` in module/class scope (class attribute, dataclass
+  default, module constant) — lambdas cannot be pickled;
+- a ``lambda`` passed to ``functools.partial`` anywhere in the module
+  (a picklable-looking wrapper around an unpicklable core).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Sequence, Set
+
+from repro.lint.core import Checker, FileContext, register
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.checkers.util import dotted_chain
+
+#: Module → class names audited (``"*"`` = every module-level class).
+#: These are exactly the types that cross the coordinator/worker/cache
+#: boundary today; extend the map when a new message type appears.
+BOUNDARY_MODULES: Dict[str, FrozenSet[str]] = {
+    "repro.sweeps.spec": frozenset({"*"}),
+    "repro.simulation.request": frozenset({"*"}),
+    "repro.simulation.results": frozenset({"*"}),
+    "repro.surrogate.model": frozenset({"SurrogateEstimate"}),
+    "repro.experiments.base": frozenset({"EvaluationSettings"}),
+    "repro.workload.generator": frozenset(
+        {"RequestSpec", "RequestStream", "LazyRequestStream"}
+    ),
+}
+
+#: Base-class names that make a class structurally picklable.
+_TUPLE_BASES = frozenset({"tuple", "NamedTuple"})
+_EXEMPT_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+                           "Exception", "BaseException", "ValueError",
+                           "RuntimeError", "TypeError", "KeyError"})
+
+#: Methods that give a class explicit pickling control.
+_PICKLE_METHODS = frozenset({"__reduce__", "__reduce_ex__", "__getstate__"})
+
+
+@register
+class PicklabilityChecker(Checker):
+    """Audit the declared process-boundary modules."""
+
+    code = "RL006"
+    name = "picklability"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only the declared boundary modules are audited."""
+        return ctx.module in BOUNDARY_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag non-structural classes and boundary-crossing lambdas."""
+        assert ctx.module is not None
+        audited = BOUNDARY_MODULES[ctx.module]
+        tuple_like = _namedtuple_factories(ctx.tree)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                if "*" in audited or node.name in audited:
+                    yield from self._check_class(ctx, node, tuple_like)
+                yield from self._check_scope_lambdas(
+                    ctx, node.body, f"class {node.name}"
+                )
+            else:
+                yield from self._check_scope_lambdas(ctx, [node], "module scope")
+        yield from self._check_partial_lambdas(ctx)
+
+    def _check_class(
+        self, ctx: FileContext, node: ast.ClassDef, tuple_like: Set[str]
+    ) -> Iterator[Diagnostic]:
+        if _is_structural(node, tuple_like):
+            return
+        yield ctx.diagnostic(
+            node,
+            self.code,
+            f"class '{node.name}' crosses a process boundary but is neither a "
+            "slotted dataclass, a namedtuple, nor defines "
+            "__reduce__/__getstate__",
+        )
+
+    def _check_scope_lambdas(
+        self, ctx: FileContext, body: Sequence[ast.stmt], where: str
+    ) -> Iterator[Diagnostic]:
+        """Lambdas bound at module/class scope get pickled by reference and fail."""
+        for statement in body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # lambdas inside method bodies stay process-local
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Lambda):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"lambda in {where} of a process-boundary module; "
+                        "use a named module-level function",
+                    )
+
+    def _check_partial_lambdas(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if chain not in ("partial", "functools.partial"):
+                continue
+            for argument in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(argument, ast.Lambda):
+                    yield ctx.diagnostic(
+                        argument,
+                        self.code,
+                        "functools.partial over a lambda cannot cross a process "
+                        "boundary; use a named module-level function",
+                    )
+
+
+def _namedtuple_factories(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to ``namedtuple(...)`` results."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            chain = dotted_chain(node.value.func)
+            if chain in ("namedtuple", "collections.namedtuple", "typing.NamedTuple",
+                         "NamedTuple"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+    return names
+
+
+def _is_structural(node: ast.ClassDef, tuple_like: Set[str]) -> bool:
+    for decorator in node.decorator_list:
+        call = decorator if isinstance(decorator, ast.Call) else None
+        chain = dotted_chain(call.func if call else decorator)
+        if chain in ("dataclass", "dataclasses.dataclass") and call is not None:
+            for keyword in call.keywords:
+                if keyword.arg == "slots" and isinstance(keyword.value, ast.Constant):
+                    if keyword.value.value is True:
+                        return True
+    for base in node.bases:
+        chain = dotted_chain(base)
+        if chain is None:
+            continue
+        tail = chain.split(".")[-1]
+        if tail in _TUPLE_BASES or tail in _EXEMPT_BASES or chain in tuple_like:
+            return True
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if statement.name in _PICKLE_METHODS:
+                return True
+    return False

@@ -1,0 +1,146 @@
+"""RL005 — reference implementations stay isolated.
+
+The equivalence tests (``tests/test_engine_hotpath.py``,
+``tests/test_generator_reference.py``) only mean something while the
+optimised code and its preserved reference are genuinely independent
+implementations.  Two directions are enforced:
+
+- **No production module may import a reference module.**  If the
+  optimised engine ever delegated to ``simulation.reference`` (or the
+  vectorised generator to ``workload.generator_reference``), "matches
+  the reference" would become a tautology.  Only the test/benchmark
+  suites — outside ``src/`` — drive the references.
+- **A reference module may import only the declared shared surface of
+  its optimised counterpart**: the data model both implementations are
+  defined over (specs, requests, results, the event tie-break
+  constants), never the optimised *logic*.  The shared surface is the
+  explicit allowlist in :data:`SHARED_SURFACE`; widening it is a
+  conscious review decision, not a side effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional
+
+from repro.lint.core import Checker, FileContext, register
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.checkers.util import iter_module_level_imports, resolve_import_targets
+
+#: The preserved reference modules.
+REFERENCE_MODULES = frozenset(
+    {"repro.simulation.reference", "repro.workload.generator_reference"}
+)
+
+#: Per reference module: same-package module → names it may import from
+#: it (``"*"`` marks a pure data-model module shared wholesale).
+#: Everything here is data model or shared constants — no scheduling,
+#: batching or generation logic.  Any same-package import *not*
+#: declared here is rejected: adding one is a conscious review
+#: decision.
+SHARED_SURFACE: Dict[str, Dict[str, FrozenSet[str]]] = {
+    "repro.simulation.reference": {
+        "repro.simulation.engine": frozenset({"ServingSimulation", "SimulationError"}),
+        "repro.simulation.executor": frozenset({"Executor"}),
+        "repro.simulation.request": frozenset({"SimRequest", "StageJob", "StageRecord"}),
+        "repro.simulation.results": frozenset({"SimulationResult", "ExecutorSummary"}),
+        "repro.simulation.session": frozenset(
+            {"_EVENT_DISPATCH", "_EVENT_FINISH", "_EVENT_JOB"}
+        ),
+    },
+    "repro.workload.generator_reference": {
+        "repro.workload.circuit_board": frozenset({"*"}),
+        "repro.workload.generator": frozenset(
+            {
+                "DEFAULT_ARRIVAL_INTERVAL_MS",
+                "STREAM_FORMAT",
+                "RequestSpec",
+                "RequestStream",
+                "_SPEC_CHUNK_SIZE",
+                "_validate_stream_args",
+            }
+        ),
+    },
+}
+
+#: Modules each reference pairs with (for the no-reverse-import rule).
+_COUNTERPART_PACKAGES = {
+    "repro.simulation.reference": "repro.simulation",
+    "repro.workload.generator_reference": "repro.workload",
+}
+
+
+@register
+class ReferenceIsolationChecker(Checker):
+    """Keep optimised and reference implementations independent."""
+
+    code = "RL005"
+    name = "reference-isolation"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Any module inside the ``repro`` tree participates."""
+        return ctx.module is not None
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Flag reference imports from production code and undeclared shared names."""
+        assert ctx.module is not None
+        is_package = ctx.rel_path.endswith("__init__.py")
+        for node in iter_module_level_imports(ctx.tree):
+            for target in resolve_import_targets(node, ctx.module, is_package):
+                if ctx.module in REFERENCE_MODULES:
+                    diagnostic = self._check_reference_import(ctx, node, target)
+                else:
+                    diagnostic = self._check_production_import(ctx, node, target)
+                if diagnostic is not None:
+                    yield diagnostic
+
+    def _check_production_import(
+        self, ctx: FileContext, node: ast.stmt, target: str
+    ) -> Optional[Diagnostic]:
+        """A non-reference module must never touch a reference module."""
+        for reference in REFERENCE_MODULES:
+            if target == reference or target.startswith(reference + "."):
+                return ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"production module imports reference module '{reference}'; "
+                    "only tests and benchmarks may drive the reference "
+                    "implementations",
+                )
+        return None
+
+    def _check_reference_import(
+        self, ctx: FileContext, node: ast.stmt, target: str
+    ) -> Optional[Diagnostic]:
+        """A reference module may only use the declared shared surface."""
+        assert ctx.module is not None
+        surface = SHARED_SURFACE[ctx.module]
+        package_prefix = _COUNTERPART_PACKAGES[ctx.module] + "."
+        if not target.startswith(package_prefix) or target.startswith(ctx.module):
+            return None  # outside its own package (or itself): RL001 territory
+        for counterpart, allowed in surface.items():
+            if target == counterpart:
+                if "*" in allowed:
+                    return None
+                return ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"reference module imports '{counterpart}' wholesale; import "
+                    "declared shared names only (repro/lint/checkers/reference.py)",
+                )
+            if target.startswith(counterpart + "."):
+                name = target[len(counterpart) + 1:]
+                if "." not in name and ("*" in allowed or name in allowed):
+                    return None
+                return ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"'{name}' is not part of the declared shared surface between "
+                    f"'{ctx.module}' and '{counterpart}'",
+                )
+        return ctx.diagnostic(
+            node,
+            self.code,
+            f"reference module import of '{target}' is not in the declared "
+            "shared surface (repro/lint/checkers/reference.py)",
+        )

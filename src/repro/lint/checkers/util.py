@@ -1,0 +1,111 @@
+"""Shared AST helpers for the built-in checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+#: Import statements paired with their resolved absolute module names.
+ResolvedImport = Tuple[ast.stmt, List[str]]
+
+
+def _mentions_type_checking(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and node.id == "TYPE_CHECKING":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "TYPE_CHECKING":
+            return True
+    return False
+
+
+def iter_module_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Yield every import executed when the module is imported.
+
+    Walks module and class bodies plus runtime conditional branches,
+    but skips function bodies (deferred imports are the sanctioned
+    laziness escape) and ``if TYPE_CHECKING:`` bodies (typing-only).
+    The ``else`` branch of a ``TYPE_CHECKING`` conditional *does* run
+    at import time and is therefore scanned.
+    """
+
+    def walk(body: List[ast.stmt]) -> Iterator[ast.stmt]:
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield node
+            elif isinstance(node, ast.If):
+                if not _mentions_type_checking(node.test):
+                    yield from walk(node.body)
+                yield from walk(node.orelse)
+            elif isinstance(node, (ast.Try, ast.With)):
+                yield from walk(node.body)
+                for handler in getattr(node, "handlers", []):
+                    yield from walk(handler.body)
+                yield from walk(getattr(node, "orelse", []))
+                yield from walk(getattr(node, "finalbody", []))
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(node.body)
+
+    yield from walk(tree.body)
+
+
+def resolve_import_targets(node: ast.stmt, module: Optional[str], is_package: bool) -> List[str]:
+    """Absolute dotted names an import statement binds.
+
+    ``module`` is the importing file's dotted name (``repro.sweeps.spec``)
+    and ``is_package`` whether it is an ``__init__``; both are needed to
+    resolve relative imports.  For ``from X import a, b`` the result is
+    ``["X.a", "X.b"]`` — callers that only care about the module prefix
+    can truncate; keeping the imported names lets the reference-isolation
+    checker validate them individually.
+    """
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if not isinstance(node, ast.ImportFrom):
+        return []
+    if node.level == 0:
+        base = node.module or ""
+    else:
+        if module is None:
+            return []
+        parts = module.split(".")
+        if not is_package:
+            parts = parts[:-1]
+        ascend = node.level - 1
+        if ascend:
+            parts = parts[:-ascend] if ascend <= len(parts) else []
+        base = ".".join(parts + ([node.module] if node.module else []))
+    if not base:
+        return []
+    return [f"{base}.{alias.name}" for alias in node.names]
+
+
+def root_name(node: ast.expr) -> Optional[str]:
+    """The leftmost ``Name`` of an attribute/subscript/call chain.
+
+    ``session.simulation.executors[0].queue`` → ``session``; returns
+    ``None`` when the chain bottoms out in something other than a name
+    (a literal, a call result on a call, ...).
+    """
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def dotted_chain(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` as a string for pure Name/Attribute chains, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

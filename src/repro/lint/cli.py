@@ -1,0 +1,125 @@
+"""The ``coserve-lint`` command line.
+
+Usage::
+
+    coserve-lint [PATHS ...] [--format text|json] [--baseline FILE]
+                 [--write-baseline] [--rules CODE[,CODE...]] [--list-rules]
+
+Paths default to ``src``; the baseline defaults to
+``lint-baseline.json`` in the working directory (missing file = empty
+baseline).  Exit status: 0 clean, 1 live findings (or analysis
+errors), 2 usage errors.  ``--write-baseline`` accepts the current
+findings into the baseline file and exits 0 — the escape hatch for
+landing a new rule against existing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.core import LintReport, LintRunner, default_checkers
+from repro.lint.diagnostics import RULE_CATALOGUE
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` documentation tests)."""
+    parser = argparse.ArgumentParser(
+        prog="coserve-lint",
+        description="AST-based invariant analysis for the CoServe reproduction "
+        "(rule catalogue: docs/lint.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default="lint-baseline.json", metavar="FILE",
+        help="baseline file of accepted findings (default: lint-baseline.json; "
+        "a missing file means an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="CODES",
+        help="comma-separated rule codes or names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _print_text(report: LintReport) -> None:
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format_text())
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    for path, rule, message in report.stale_baseline:
+        print(f"note: stale baseline entry {rule} {path}: {message}", file=sys.stderr)
+    summary = (
+        f"{len(report.diagnostics)} finding(s), {len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed across {report.files_checked} file(s)"
+    )
+    print(summary if report.diagnostics else f"lint OK: {summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``coserve-lint`` console script."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code, summary in sorted(RULE_CATALOGUE.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    try:
+        rules = options.rules.split(",") if options.rules else None
+        checkers = default_checkers(rules)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    baseline = Baseline()
+    if not options.no_baseline and not options.write_baseline:
+        try:
+            baseline = Baseline.from_file(options.baseline)
+        except FileNotFoundError:
+            baseline = Baseline()
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    runner = LintRunner(checkers=checkers, baseline=baseline)
+    report = runner.run(options.paths)
+
+    if options.write_baseline:
+        Baseline.from_diagnostics(report.diagnostics).save(options.baseline)
+        print(
+            f"wrote {len(report.diagnostics)} finding(s) to {options.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if options.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        _print_text(report)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

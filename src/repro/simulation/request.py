@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 from repro.workload.generator import RequestSpec
 
 
-@dataclass
+@dataclass(slots=True)
 class StageRecord:
     """What happened to one pipeline stage of a request."""
 

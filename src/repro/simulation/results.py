@@ -8,7 +8,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.simulation.request import SimRequest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutorSummary:
     """Per-executor statistics of a run."""
 
@@ -31,7 +31,7 @@ class ExecutorSummary:
         return self.stages_executed / self.batches_executed
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimulationResult:
     """Aggregate outcome of serving one request stream."""
 

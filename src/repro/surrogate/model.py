@@ -41,7 +41,7 @@ from repro.surrogate.features import CellFeatures
 ESTIMATE_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SurrogateEstimate:
     """Predicted per-cell serving metrics (all analytical, no events).
 

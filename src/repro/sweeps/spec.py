@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 #: Identity of a cell: everything that affects the simulated result.
 CellKey = Tuple[str, str, str, Tuple[Tuple[str, object], ...]]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SweepCell:
     """One (system, device, task, overrides) point of a sweep grid."""
 
@@ -98,7 +98,7 @@ class SweepCell:
         return text
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SweepGrid:
     """An ordered, duplicate-free collection of sweep cells."""
 
@@ -120,7 +120,7 @@ class SweepGrid:
         systems: Sequence[str],
         devices: Sequence[str],
         tasks: Sequence[str],
-        overrides: Mapping[str, object] = None,
+        overrides: Optional[Mapping[str, object]] = None,
         tags: Sequence[str] = (),
     ) -> "SweepGrid":
         """The full cross product of systems x devices x tasks.

@@ -57,13 +57,15 @@ import sys
 import time
 from multiprocessing import AuthenticationError
 from multiprocessing.connection import Connection, Listener
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.base import EvaluationContext, EvaluationSettings
 from repro.sweeps.cache import SweepCache, settings_fingerprint
 from repro.sweeps.distributed import arm_tcp_keepalive, is_loopback_host, sweep_authkey
 from repro.sweeps.runner import execute_cell
 from repro.sweeps.spec import SweepCell
+
+if TYPE_CHECKING:
+    from repro.experiments.base import EvaluationContext, EvaluationSettings
 
 
 class SweepWorker:
@@ -168,8 +170,13 @@ class SweepWorker:
                 pass
 
     # ------------------------------------------------------------------
-    def _context_for(self, settings: EvaluationSettings) -> EvaluationContext:
+    def _context_for(self, settings: "EvaluationSettings") -> "EvaluationContext":
         """The cached evaluation context for a settings fingerprint (LRU)."""
+        # Deferred import: sweeps sits below experiments in the layer
+        # map (RL001), and a listening worker only needs the harness
+        # machinery once a coordinator actually sends settings.
+        from repro.experiments.base import EvaluationContext
+
         key = settings_fingerprint(settings)
         context = self._contexts.pop(key, None)
         if context is None:

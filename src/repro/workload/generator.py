@@ -41,7 +41,7 @@ import functools
 import gc
 import itertools
 from collections import Counter, namedtuple
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from functools import cached_property
 from typing import Callable, ClassVar, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -176,6 +176,20 @@ class RequestStream:
     def __iter__(self) -> Iterator[RequestSpec]:
         return iter(self.requests)
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the declared fields only (process-boundary rule RL006).
+
+        The cached aggregate views live in ``__dict__`` beside the
+        fields (see :attr:`_views`); dropping them keeps cross-process
+        payloads lean, and they are recomputed on first use.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore fields, bypassing the frozen-dataclass guard."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __getitem__(self, index: int) -> RequestSpec:
         return self.requests[index]
 
@@ -285,6 +299,21 @@ class LazyRequestStream:
 
     def __iter__(self) -> Iterator[RequestSpec]:
         return iter(self.spec_factory())
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the declared fields only (process-boundary rule RL006).
+
+        ``spec_factory`` is a :func:`functools.partial` over the named
+        module-level :func:`iter_request_stream`, so the stream
+        re-derives identical specs on the far side of the boundary;
+        cached views are dropped and recomputed on first use.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Restore fields, bypassing the frozen-dataclass guard."""
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     @property
     def duration_ms(self) -> float:

@@ -462,10 +462,15 @@ class TestGuardRails:
 
     def test_worker_context_cache_is_bounded(self, monkeypatch):
         from repro.sweeps import worker as worker_module
+        import repro.experiments.base as experiments_base
 
         built = []
+        # The worker imports EvaluationContext lazily inside
+        # _context_for (layer rule RL001), so patch it at the source.
         monkeypatch.setattr(
-            worker_module, "EvaluationContext", lambda settings: built.append(settings) or object()
+            experiments_base,
+            "EvaluationContext",
+            lambda settings: built.append(settings) or object(),
         )
         shell = worker_module.SweepWorker.__new__(worker_module.SweepWorker)
         shell._contexts = {}

@@ -1,79 +1,32 @@
 #!/usr/bin/env python
 """Fail when public names in the given files/packages lack docstrings.
 
-CI runs this over the packages the documentation suite leans on most::
+Thin shim over rule **RL008** of the ``repro.lint`` framework (see
+``docs/lint.md``) — kept so the historical CLI contract survives::
 
     python tools/check_docstrings.py src/repro/sweeps src/repro/simulation/session.py
 
-Rules (deliberately small — this is a gate, not a linter):
-
-- every module needs a module docstring;
-- every public (non-underscore) module-level class and function needs a
-  docstring;
-- every public method of a public class needs a docstring, except
-  dunders (``__init__`` semantics belong in the class docstring, which
-  is where this codebase documents parameters).
-
-Names starting with ``_`` are implementation detail and exempt.  Exit
-status is the number of offending definitions (0 = clean); each one is
-reported as ``path:line: kind name`` so editors can jump to it.
+Exit status is the number of offending definitions (0 = clean, capped
+at 125); each one is reported as ``path:line: missing docstring on kind
+name`` so editors can jump to it.  The same rule runs under
+``coserve-lint`` scoped to the gated packages; this shim checks exactly
+the paths it is given, which is how CI points it at the documented
+surfaces.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
-from typing import Iterator, List, Tuple
+from typing import List
 
-#: (path, line, description) of a definition missing its docstring.
-Problem = Tuple[str, int, str]
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-
-def iter_python_files(paths: List[str]) -> Iterator[str]:
-    """Expand file and directory arguments into .py file paths."""
-    for path in paths:
-        if os.path.isdir(path):
-            for root, _, names in sorted(os.walk(path)):
-                for name in sorted(names):
-                    if name.endswith(".py"):
-                        yield os.path.join(root, name)
-        else:
-            yield path
-
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _check_functions(
-    body: List[ast.stmt], path: str, prefix: str, problems: List[Problem]
-) -> None:
-    """Record public functions/classes in ``body`` that lack docstrings."""
-    for node in body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if not _is_public(node.name):
-                continue
-            if ast.get_docstring(node) is None:
-                kind = "method" if prefix else "function"
-                problems.append((path, node.lineno, f"{kind} {prefix}{node.name}"))
-        elif isinstance(node, ast.ClassDef):
-            if not _is_public(node.name):
-                continue
-            if ast.get_docstring(node) is None:
-                problems.append((path, node.lineno, f"class {prefix}{node.name}"))
-            _check_functions(node.body, path, f"{prefix}{node.name}.", problems)
-
-
-def check_file(path: str) -> List[Problem]:
-    """All missing-docstring problems in one Python file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        tree = ast.parse(handle.read(), filename=path)
-    problems: List[Problem] = []
-    if ast.get_docstring(tree) is None:
-        problems.append((path, 1, "module"))
-    _check_functions(tree.body, path, "", problems)
-    return problems
+from repro.lint.checkers.docstrings import check_tree  # noqa: E402
+from repro.lint.core import FileContext, iter_python_files  # noqa: E402
 
 
 def main(argv: List[str]) -> int:
@@ -81,18 +34,20 @@ def main(argv: List[str]) -> int:
     if not argv:
         print("usage: check_docstrings.py PATH [PATH ...]", file=sys.stderr)
         return 2
-    problems: List[Problem] = []
+    problems = 0
     checked = 0
     for path in iter_python_files(argv):
         checked += 1
-        problems.extend(check_file(path))
-    for path, line, description in problems:
-        print(f"{path}:{line}: missing docstring on {description}")
+        with open(path, "r", encoding="utf-8") as handle:
+            ctx = FileContext(path, handle.read())
+        for diagnostic in check_tree(ctx):
+            problems += 1
+            print(f"{diagnostic.path}:{diagnostic.line}: {diagnostic.message}")
     if problems:
-        print(f"{len(problems)} public name(s) without docstrings in {checked} file(s)")
+        print(f"{problems} public name(s) without docstrings in {checked} file(s)")
     else:
         print(f"docstrings OK across {checked} file(s)")
-    return min(len(problems), 125)
+    return min(problems, 125)
 
 
 if __name__ == "__main__":
