@@ -29,6 +29,13 @@ per host first; ``docs/sweeps.md`` walks through it)::
 
     coserve-experiments --all --hosts hostA:7071,hostB:7071
 
+Guided multi-fidelity sweep: free surrogate scoring, a measured
+150-request rung that re-ranks survivors and recalibrates the
+surrogate, then full fidelity for the finalists — predicted-vs-measured
+drift lands in an extra ``sweep_drift`` table::
+
+    coserve-experiments --all --halving-rungs 2 --halving-keep-fraction 0.5
+
 Before any experiment runs, the CLI unions the sweep grids declared by
 the selected experiments and executes the deduplicated union once (with
 ``--jobs N`` the grid is spread over N worker processes; with
@@ -51,7 +58,15 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import EXPERIMENT_GRIDS, EXPERIMENTS
 from repro.experiments.base import EvaluationContext, EvaluationSettings, ExperimentResult
-from repro.sweeps import SweepCache, SweepGrid, SweepResults, SweepRunner, parse_hosts
+from repro.sweeps import (
+    HalvingConfig,
+    HalvingRunner,
+    SweepCache,
+    SweepGrid,
+    SweepResults,
+    SweepRunner,
+    parse_hosts,
+)
 
 #: File suffix per output format.
 _FORMAT_SUFFIX = {"table": "txt", "json": "json", "csv": "csv"}
@@ -151,6 +166,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--prune-fraction and with per-cell SLO early aborts.",
     )
     parser.add_argument(
+        "--prune-percentile",
+        type=float,
+        default=99.0,
+        metavar="P",
+        help="Latency percentile the surrogate rankings read, for both the "
+        "two-stage pruning rules and a guided sweep's rung-0 scoring "
+        "(default: 99, the paper's SLO percentile). Must be within (0, 100].",
+    )
+    parser.add_argument(
+        "--halving-rungs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Guided sweep: run the grid through a successive-halving ladder "
+        "of N simulated rungs instead of one-shot pruning. Rung 0 scores "
+        "every cell with the queueing surrogate for free; rungs 1..N-1 "
+        "simulate survivors at reduced request counts, re-rank them on "
+        "measured makespans and recalibrate the surrogate; rung N runs the "
+        "finalists at full fidelity, byte-identical to an exhaustive run. "
+        "Mutually exclusive with --prune-fraction/--prune-slo-ms.",
+    )
+    parser.add_argument(
+        "--halving-keep-fraction",
+        type=float,
+        default=0.5,
+        metavar="F",
+        help="Fraction of each (device, task) group's unpinned cells kept at "
+        "every halving selection point (default: 0.5). Requires "
+        "--halving-rungs; must be within (0, 1].",
+    )
+    parser.add_argument(
+        "--halving-min-requests",
+        type=int,
+        default=150,
+        metavar="K",
+        help="Request count of the cheapest halving rung; later rungs "
+        "escalate geometrically toward the full count (default: 150). "
+        "Requires --halving-rungs.",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="Report live sweep cell counts and per-experiment row counts on "
@@ -194,6 +249,9 @@ def run_experiments(
     hosts: Optional[Sequence[str]] = None,
     prune_fraction: float = 0.0,
     prune_slo_ms: Optional[float] = None,
+    prune_percentile: float = 99.0,
+    halving: Optional[HalvingConfig] = None,
+    results: Optional[SweepResults] = None,
 ) -> List[Tuple[str, ExperimentResult, float]]:
     """Run experiments over one shared sweep execution.
 
@@ -211,23 +269,45 @@ def run_experiments(
     stderr via the runner's ``run_iter``.  ``prune_fraction`` /
     ``prune_slo_ms`` turn the sweep two-stage: the queueing surrogate
     scores every cell and only the survivors are fully simulated
-    (pruned cells keep aborted placeholder rows carrying predictions).
+    (pruned cells keep aborted placeholder rows carrying predictions);
+    both rules rank on the surrogate's ``prune_percentile`` latency.
+    ``halving`` replaces the one-shot cut with the successive-halving
+    scheduler (:class:`~repro.sweeps.halving.HalvingRunner`): measured
+    low-fidelity rungs re-rank survivors and recalibrate the surrogate
+    before the final full-fidelity rung.  Passing ``results`` lets the
+    caller keep the shared store afterwards — a guided sweep leaves its
+    :attr:`~repro.sweeps.results.SweepResults.drift_report` there.
     """
     context = EvaluationContext(settings)
     grid = collect_grid(names, settings)
     cache = SweepCache(cache_dir, settings) if cache_dir else None
-    prune = {"prune_fraction": prune_fraction, "prune_slo_ms": prune_slo_ms}
-    if hosts is not None:
-        # jobs is forwarded so a conflicting jobs>1 raises the runner's
-        # mutual-exclusion error instead of being silently dropped, and
-        # an *empty* hosts value is rejected loudly by the runner rather
-        # than falling back to a serial sweep.
-        runner = SweepRunner(settings=settings, jobs=jobs, hosts=hosts, cache=cache, **prune)
-    elif jobs > 1:
-        runner = SweepRunner(settings=settings, jobs=jobs, cache=cache, **prune)
+    runner: "SweepRunner | HalvingRunner"
+    if halving is not None:
+        if hosts is not None:
+            runner = HalvingRunner(
+                settings=settings, jobs=jobs, hosts=hosts, cache=cache, config=halving
+            )
+        elif jobs > 1:
+            runner = HalvingRunner(settings=settings, jobs=jobs, cache=cache, config=halving)
+        else:
+            runner = HalvingRunner(context=context, cache=cache, config=halving)
     else:
-        runner = SweepRunner(context=context, cache=cache, **prune)
-    results = SweepResults()
+        prune = {
+            "prune_fraction": prune_fraction,
+            "prune_slo_ms": prune_slo_ms,
+            "prune_percentile": prune_percentile,
+        }
+        if hosts is not None:
+            # jobs is forwarded so a conflicting jobs>1 raises the runner's
+            # mutual-exclusion error instead of being silently dropped, and
+            # an *empty* hosts value is rejected loudly by the runner rather
+            # than falling back to a serial sweep.
+            runner = SweepRunner(settings=settings, jobs=jobs, hosts=hosts, cache=cache, **prune)
+        elif jobs > 1:
+            runner = SweepRunner(settings=settings, jobs=jobs, cache=cache, **prune)
+        else:
+            runner = SweepRunner(context=context, cache=cache, **prune)
+    results = results if results is not None else SweepResults()
     if progress:
         total = len(grid)
         for done, _ in enumerate(runner.run_iter(grid, results=results), start=1):
@@ -242,6 +322,9 @@ def run_experiments(
             print(f"\r[sweep {total}/{total} cells]{hint}", file=sys.stderr)
     else:
         runner.run(grid, results=results)
+    if progress and results.drift_report is not None:
+        for line in results.drift_report.summary().splitlines():
+            print(f"[drift] {line}", file=sys.stderr)
 
     outcomes: List[Tuple[str, ExperimentResult, float]] = []
     for name in names:
@@ -282,6 +365,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--prune-fraction must be within [0, 1)")
     if arguments.prune_slo_ms is not None and arguments.prune_slo_ms <= 0:
         parser.error("--prune-slo-ms must be positive")
+    if not 0.0 < arguments.prune_percentile <= 100.0:
+        parser.error("--prune-percentile must be within (0, 100]")
+    halving: Optional[HalvingConfig] = None
+    if arguments.halving_rungs is not None:
+        if arguments.prune_fraction > 0.0 or arguments.prune_slo_ms is not None:
+            parser.error(
+                "--halving-rungs and --prune-fraction/--prune-slo-ms are "
+                "mutually exclusive: the rung-0 surrogate cut subsumes "
+                "one-shot pruning"
+            )
+        try:
+            halving = HalvingConfig(
+                rungs=arguments.halving_rungs,
+                keep_fraction=arguments.halving_keep_fraction,
+                min_requests=arguments.halving_min_requests,
+                percentile=arguments.prune_percentile,
+            )
+        except ValueError as exc:
+            parser.error(f"--halving-rungs/--halving-keep-fraction/--halving-min-requests: {exc}")
 
     settings = EvaluationSettings(
         full_scale=arguments.full_scale,
@@ -292,6 +394,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     start = time.perf_counter()
+    results = SweepResults()
     outcomes = run_experiments(
         names,
         settings,
@@ -301,8 +404,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         hosts=arguments.hosts,
         prune_fraction=arguments.prune_fraction,
         prune_slo_ms=arguments.prune_slo_ms,
+        prune_percentile=arguments.prune_percentile,
+        halving=halving,
+        results=results,
     )
     total_elapsed = time.perf_counter() - start
+    if results.drift_report is not None:
+        # Guided sweeps surface their per-rung predicted-vs-measured
+        # drift as an extra pseudo-experiment so every output path
+        # (table, json, csv, --output) carries it.
+        drift = results.drift_report
+        outcomes.append(
+            (
+                "sweep_drift",
+                ExperimentResult(
+                    name="sweep_drift",
+                    description=(
+                        "Guided sweep: surrogate predicted-vs-measured drift "
+                        f"per successive-halving rung (rung-0 ranking at "
+                        f"p{drift.percentile:g})"
+                    ),
+                    rows=tuple(drift.as_rows()),
+                ),
+                0.0,
+            )
+        )
     grid_size = len(collect_grid(names, settings))
     # The serving work happens in one shared sweep before row assembly,
     # so per-experiment timings only cover assembly; report both parts.

@@ -18,23 +18,35 @@ Three modules:
   rate by construction;
 * :mod:`repro.surrogate.validation` — per-grid fidelity reports
   (Spearman rank correlation + relative-error quantiles) against full
-  simulation, asserted by ``tests/test_surrogate.py``.
+  simulation, asserted by ``tests/test_surrogate.py``, plus the
+  :class:`~repro.surrogate.validation.DriftReport` guided sweeps use to
+  surface predicted-vs-measured drift per rung.
 
 The sweep layer consumes this package through
 :class:`~repro.sweeps.runner.SweepRunner`'s two-stage pruning knobs
-(``prune_fraction`` / ``prune_slo_ms``); see the "Two-stage pruned
-sweeps" section of ``docs/sweeps.md``.
+(``prune_fraction`` / ``prune_slo_ms``) and through
+:class:`~repro.sweeps.halving.HalvingRunner`, the successive-halving
+scheduler that re-ranks on measured rung rows and refits the model's
+calibration constants via
+:meth:`~repro.surrogate.model.QueueingSurrogate.recalibrated`; see the
+"Two-stage pruned sweeps" and "Guided successive-halving sweeps"
+sections of ``docs/sweeps.md``.
 """
 
 from repro.surrogate.features import CellFeatures, StageClass, extract_features
 from repro.surrogate.model import (
     ESTIMATE_PERCENTILES,
+    RECALIBRATION_BATCH_PRESSURES,
+    RECALIBRATION_ETAS,
     QueueingSurrogate,
     SurrogateEstimate,
 )
 from repro.surrogate.validation import (
     CellValidation,
+    DriftReport,
     GridValidationReport,
+    RungDrift,
+    rung_drift,
     spearman_rank_correlation,
     validate_grid,
     validate_grids,
@@ -45,10 +57,15 @@ __all__ = [
     "StageClass",
     "extract_features",
     "ESTIMATE_PERCENTILES",
+    "RECALIBRATION_BATCH_PRESSURES",
+    "RECALIBRATION_ETAS",
     "QueueingSurrogate",
     "SurrogateEstimate",
     "CellValidation",
+    "DriftReport",
     "GridValidationReport",
+    "RungDrift",
+    "rung_drift",
     "spearman_rank_correlation",
     "validate_grid",
     "validate_grids",

@@ -55,6 +55,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: without touching ``repro.sweeps`` — the runner imports *us* lazily.
 _SLO_OVERRIDE_KEYS = ("slo_target_ms", "slo_percentile", "slo_metric")
 
+#: The runner's fidelity override (``SweepCell.at_fidelity``): a
+#: request-count override that reshapes the stream instead of reaching
+#: the system constructor.  Honoured here so the features — and hence
+#: the predictions a halving rung is judged against — describe the same
+#: reduced-fidelity simulation the rung actually runs.
+_FIDELITY_OVERRIDE_KEY = "num_requests"
+
 #: Churn fractions: what share of a pool's preloaded-and-referenced
 #: overlap is evicted before its scan-order turn and must reload.  A
 #: single executor walks the stream in order and LRU mostly protects
@@ -191,6 +198,8 @@ def extract_features(context: "EvaluationContext", cell: "SweepCell") -> CellFea
     overrides = cell.override_dict()
     for key in _SLO_OVERRIDE_KEYS:
         overrides.pop(key, None)
+    fidelity = overrides.pop(_FIDELITY_OVERRIDE_KEY, None)
+    num_requests = None if fidelity is None else int(fidelity)  # type: ignore[call-overload]
     device = context.device(cell.device)
     _, model = context.board_and_model(cell.task)
     matrix = context.performance_matrix(cell.device, cell.task)
@@ -198,12 +207,12 @@ def extract_features(context: "EvaluationContext", cell: "SweepCell") -> CellFea
         cell.system,
         device,
         model,
-        context.usage_profile(cell.task),
+        context.usage_profile(cell.task, num_requests),
         performance_matrix=matrix,
         **overrides,
     )
     simulation = system.build_simulation()
-    stream = context.stream(cell.task)
+    stream = context.stream(cell.task, num_requests)
 
     # ------------------------------------------------------------------
     # Structure: executors, pools, scheduler.

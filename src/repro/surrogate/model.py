@@ -32,13 +32,26 @@ cell.
 from __future__ import annotations
 
 import math
+import statistics
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.surrogate.features import CellFeatures
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.results import SimulationResult
+
 #: Latency percentiles every estimate carries.
 ESTIMATE_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
+
+#: Candidate effective-parallelism coefficients recalibration searches.
+#: A small deterministic grid: the measured rows pick the member that
+#: ranks them best, and the incumbent always competes, so refitting can
+#: only improve (never worsen) agreement on the calibration rows.
+RECALIBRATION_ETAS: Tuple[float, ...] = (0.0, 0.06, 0.12, 0.25, 0.5, 1.0)
+
+#: Candidate achieved-batch coefficients recalibration searches.
+RECALIBRATION_BATCH_PRESSURES: Tuple[float, ...] = (0.45, 0.9, 1.8)
 
 
 @dataclass(frozen=True, slots=True)
@@ -280,3 +293,89 @@ class QueueingSurrogate:
             executor_count=k,
             effective_batch=batch,
         )
+
+    # ------------------------------------------------------------------
+    # Auto-recalibration from measured rows.
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, float]:
+        """The calibration constants as constructor keyword arguments."""
+        return {
+            "eta": self.eta,
+            "eta_exec": self.eta_exec,
+            "batch_pressure": self.batch_pressure,
+            "batch_cap": self.batch_cap,
+            "no_arrange_batch": self.no_arrange_batch,
+            "rho_cap": self.rho_cap,
+        }
+
+    def _fit_score(
+        self, rows: Sequence[Tuple[CellFeatures, "SimulationResult"]]
+    ) -> Tuple[float, float]:
+        """How well this surrogate explains measured rows (bigger is better).
+
+        The primary component is Spearman rank correlation between
+        predicted and measured makespans — ranking is what pruning and
+        rung escalation consume — and the tiebreak is the negated median
+        relative makespan error, so among equally-ranking candidates the
+        better-calibrated one wins.
+        """
+        from repro.surrogate.validation import spearman_rank_correlation
+
+        measured: List[float] = []
+        predicted: List[float] = []
+        errors: List[float] = []
+        for features, result in rows:
+            if result.makespan_ms <= 0.0:
+                continue
+            prediction = self.estimate(features).makespan_ms
+            measured.append(result.makespan_ms)
+            predicted.append(prediction)
+            errors.append(abs(prediction - result.makespan_ms) / result.makespan_ms)
+        if not measured:
+            return (1.0, 0.0)
+        return (
+            spearman_rank_correlation(measured, predicted),
+            -statistics.median(errors),
+        )
+
+    def recalibrated(
+        self, rows: Sequence[Tuple[CellFeatures, "SimulationResult"]]
+    ) -> "QueueingSurrogate":
+        """A surrogate refit to measured ``(features, result)`` rows.
+
+        Searches the deterministic candidate grid
+        :data:`RECALIBRATION_ETAS` × :data:`RECALIBRATION_BATCH_PRESSURES`
+        (``eta`` and ``eta_exec`` move together — the measured defaults
+        match, and one rung rarely has the rows to separate them) and
+        keeps whichever candidate ranks the measured makespans best,
+        breaking ties toward lower median relative error.  The incumbent
+        constants always compete and win ties, so **recalibration never
+        worsens Spearman rank correlation on the calibration rows
+        themselves** — the property ``tests/test_halving.py`` pins.
+
+        Rows whose measured makespan is non-positive (nothing completed)
+        are ignored; with fewer than two usable rows there is nothing to
+        rank and the incumbent is returned unchanged.
+        """
+        usable = [
+            (features, result) for features, result in rows if result.makespan_ms > 0.0
+        ]
+        if len(usable) < 2:
+            return self
+        best = self
+        best_score = self._fit_score(usable)
+        base = self.params()
+        for eta in RECALIBRATION_ETAS:
+            for batch_pressure in RECALIBRATION_BATCH_PRESSURES:
+                candidate = QueueingSurrogate(
+                    **{
+                        **base,
+                        "eta": eta,
+                        "eta_exec": eta,
+                        "batch_pressure": batch_pressure,
+                    }
+                )
+                score = candidate._fit_score(usable)
+                if score > best_score:
+                    best, best_score = candidate, score
+        return best

@@ -24,6 +24,7 @@ from repro.surrogate.model import QueueingSurrogate, SurrogateEstimate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.base import EvaluationContext, EvaluationSettings
+    from repro.simulation.results import SimulationResult
     from repro.sweeps.spec import SweepGrid
 
 
@@ -57,6 +58,117 @@ def spearman_rank_correlation(xs: Sequence[float], ys: Sequence[float]) -> float
     if np.allclose(rx, rx[0]) or np.allclose(ry, ry[0]):
         return 1.0
     return float(np.corrcoef(rx, ry)[0, 1])
+
+
+@dataclass(frozen=True)
+class RungDrift:
+    """Predicted-vs-measured agreement on one halving rung's rows.
+
+    Errors are relative (``|predicted − measured| / measured``) over the
+    rung's makespans and throughputs; the Spearman coefficients capture
+    what rung escalation actually consumes (the *ranking* of the rows).
+    ``num_requests`` is the rung's fidelity override (None at full
+    fidelity) and ``recalibrated`` records whether the surrogate's
+    calibration constants were refit from this rung's rows afterwards.
+    """
+
+    rung: int
+    num_requests: Optional[int]
+    cell_count: int
+    makespan_spearman: float
+    throughput_spearman: float
+    median_makespan_error: float
+    max_makespan_error: float
+    median_throughput_error: float
+    max_throughput_error: float
+    recalibrated: bool = False
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict form for figure tables and JSON output."""
+        return {
+            "rung": self.rung,
+            "num_requests": "full" if self.num_requests is None else self.num_requests,
+            "cells": self.cell_count,
+            "makespan_spearman": round(self.makespan_spearman, 4),
+            "throughput_spearman": round(self.throughput_spearman, 4),
+            "median_makespan_error": round(self.median_makespan_error, 4),
+            "max_makespan_error": round(self.max_makespan_error, 4),
+            "median_throughput_error": round(self.median_throughput_error, 4),
+            "max_throughput_error": round(self.max_throughput_error, 4),
+            "recalibrated": self.recalibrated,
+        }
+
+    def summary(self) -> str:
+        """One log-friendly line of the rung's drift numbers."""
+        fidelity = "full" if self.num_requests is None else f"{self.num_requests} req"
+        tail = " (surrogate recalibrated)" if self.recalibrated else ""
+        return (
+            f"rung {self.rung} ({fidelity}, {self.cell_count} cells): "
+            f"spearman makespan={self.makespan_spearman:.2f} "
+            f"thr={self.throughput_spearman:.2f}, "
+            f"median err makespan={self.median_makespan_error:.0%} "
+            f"thr={self.median_throughput_error:.0%}{tail}"
+        )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Predicted-vs-measured drift across a guided sweep's rungs.
+
+    Built by the successive-halving scheduler
+    (:class:`~repro.sweeps.halving.HalvingRunner`) from each rung's
+    (estimate, measured result) pairs, surfaced on
+    :class:`~repro.sweeps.results.SweepResults` and — via the
+    experiments CLI — in the figure tables and ``--format json``
+    output.  One :class:`RungDrift` per simulated rung, in rung order.
+    """
+
+    percentile: float
+    rungs: Tuple[RungDrift, ...]
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One flat dict per rung, ready for table/CSV/JSON rendering."""
+        return [rung.as_row() for rung in self.rungs]
+
+    def summary(self) -> str:
+        """A multi-line log-friendly rendering of every rung's drift."""
+        return "\n".join(rung.summary() for rung in self.rungs)
+
+
+def rung_drift(
+    rung: int,
+    num_requests: Optional[int],
+    pairs: Sequence[Tuple[SurrogateEstimate, "SimulationResult"]],
+    recalibrated: bool = False,
+) -> RungDrift:
+    """Summarise one rung's (estimate, measured result) pairs.
+
+    Pairs whose measured makespan is non-positive contribute nothing to
+    the error quantiles (there is no meaningful relative error against
+    zero); Spearman is computed over every pair.
+    """
+    pred_mk = [estimate.makespan_ms for estimate, _ in pairs]
+    meas_mk = [result.makespan_ms for _, result in pairs]
+    pred_thr = [estimate.throughput_rps for estimate, _ in pairs]
+    meas_thr = [result.throughput_rps for _, result in pairs]
+
+    def errors(pred: Sequence[float], meas: Sequence[float]) -> List[float]:
+        return [abs(p - m) / m for p, m in zip(pred, meas) if m > 0.0]
+
+    mk_errors = errors(pred_mk, meas_mk) or [0.0]
+    thr_errors = errors(pred_thr, meas_thr) or [0.0]
+    return RungDrift(
+        rung=rung,
+        num_requests=num_requests,
+        cell_count=len(pairs),
+        makespan_spearman=spearman_rank_correlation(meas_mk, pred_mk),
+        throughput_spearman=spearman_rank_correlation(meas_thr, pred_thr),
+        median_makespan_error=float(np.median(mk_errors)),
+        max_makespan_error=float(max(mk_errors)),
+        median_throughput_error=float(np.median(thr_errors)),
+        max_throughput_error=float(max(thr_errors)),
+        recalibrated=recalibrated,
+    )
 
 
 @dataclass(frozen=True)

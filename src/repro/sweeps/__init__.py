@@ -26,14 +26,20 @@ insert :mod:`repro.surrogate`'s queueing model between the cache and the
 executor: every missing cell is scored analytically, predictably-bad
 cells are pruned (aborted placeholder results, never simulated, never
 cached), and only the survivors pay for full simulation.
+:class:`HalvingRunner` (:mod:`repro.sweeps.halving`) generalises the
+one-shot cut into a successive-halving rung ladder: surrogate scoring,
+then measured low-fidelity rungs (reduced ``num_requests`` overrides)
+that re-rank survivors and recalibrate the surrogate, then a final
+full-fidelity rung byte-identical to an exhaustive run.
 
 The distributed worker process lives in :mod:`repro.sweeps.worker`
 (console script ``coserve-sweep-worker``); ``docs/sweeps.md`` has a
 runnable multi-host walkthrough.
 """
 
-from repro.sweeps.spec import SweepCell, SweepGrid
+from repro.sweeps.spec import FIDELITY_OVERRIDE_KEY, SweepCell, SweepGrid
 from repro.sweeps.cache import PRUNED_ABORT_PREFIX, SweepCache, settings_fingerprint
+from repro.sweeps.halving import HalvingConfig, HalvingRunner, RungPlan
 from repro.sweeps.results import SweepResults
 from repro.sweeps.runner import (
     ProcessPoolExecutor,
@@ -48,8 +54,12 @@ from repro.sweeps.distributed import DistributedExecutor, parse_hosts
 
 __all__ = [
     "DistributedExecutor",
+    "FIDELITY_OVERRIDE_KEY",
+    "HalvingConfig",
+    "HalvingRunner",
     "PRUNED_ABORT_PREFIX",
     "ProcessPoolExecutor",
+    "RungPlan",
     "SerialExecutor",
     "SweepCell",
     "SweepExecutor",

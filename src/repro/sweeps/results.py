@@ -22,6 +22,7 @@ from repro.sweeps.spec import CellKey, SweepCell, SweepGrid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.surrogate.model import SurrogateEstimate
+    from repro.surrogate.validation import DriftReport
 
 
 class SweepResults:
@@ -36,6 +37,7 @@ class SweepResults:
         self._by_key: Dict[CellKey, SimulationResult] = {}
         self._estimates: Dict[CellKey, "SurrogateEstimate"] = {}
         self._pruned: Set[CellKey] = set()
+        self._drift: Optional["DriftReport"] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -57,6 +59,8 @@ class SweepResults:
                     self._pruned.add(key)
         for key, estimate in other._estimates.items():
             self._estimates.setdefault(key, estimate)
+        if self._drift is None:
+            self._drift = other._drift
 
     def record_estimate(self, cell: SweepCell, estimate: "SurrogateEstimate") -> None:
         """Attach a surrogate estimate to a cell (simulated or not)."""
@@ -129,3 +133,20 @@ class SweepResults:
     def estimates(self) -> Iterator[Tuple[CellKey, "SurrogateEstimate"]]:
         """Iterate ``(cell key, estimate)`` pairs in recording order."""
         return iter(self._estimates.items())
+
+    # ------------------------------------------------------------------
+    # Guided-sweep drift
+    # ------------------------------------------------------------------
+    def set_drift_report(self, report: "DriftReport") -> None:
+        """Attach the guided sweep's predicted-vs-measured drift report."""
+        self._drift = report
+
+    @property
+    def drift_report(self) -> Optional["DriftReport"]:
+        """Per-rung predicted-vs-measured drift of a guided sweep, if any.
+
+        Set by :class:`~repro.sweeps.halving.HalvingRunner` after its
+        final rung; the experiments CLI surfaces it in the figure tables
+        and ``--format json`` output.
+        """
+        return self._drift

@@ -54,7 +54,7 @@ from repro.simulation.session import SimulationAborted
 from repro.simulation.slo import SLOMonitor
 from repro.sweeps.cache import PRUNED_ABORT_PREFIX, SweepCache
 from repro.sweeps.results import SweepResults
-from repro.sweeps.spec import CellKey, SweepCell, SweepGrid
+from repro.sweeps.spec import FIDELITY_OVERRIDE_KEY, CellKey, SweepCell, SweepGrid
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.base import EvaluationContext, EvaluationSettings
@@ -104,8 +104,21 @@ def execute_cell(
     the violation point instead of simulating to completion and its
     result carries ``aborted=True`` with the violation as the reason —
     the sweep-level early-abort path.
+
+    Cells whose overrides declare ``num_requests`` (the
+    :data:`~repro.sweeps.spec.FIDELITY_OVERRIDE_KEY`, usually via
+    :meth:`SweepCell.at_fidelity`) simulate that many requests of the
+    same workload instead of the settings-derived count — the
+    low-fidelity rungs of a successive-halving sweep are exactly such
+    cells, executed by this same primitive on every backend.
     """
     overrides = cell.override_dict()
+    fidelity = overrides.pop(FIDELITY_OVERRIDE_KEY, None)
+    if fidelity is not None and int(fidelity) < 1:
+        raise ValueError(
+            f"cell {cell.label()} declares a non-positive num_requests override"
+        )
+    num_requests = None if fidelity is None else int(fidelity)
     slo = {key: overrides.pop(key, None) for key in SLO_OVERRIDE_KEYS}
     slo_target_ms = slo["slo_target_ms"]
     if slo_target_ms is None and any(value is not None for value in slo.values()):
@@ -120,11 +133,11 @@ def execute_cell(
         cell.system,
         device,
         model,
-        context.usage_profile(cell.task),
+        context.usage_profile(cell.task, num_requests),
         performance_matrix=context.performance_matrix(cell.device, cell.task),
         **overrides,
     )
-    stream = context.stream(cell.task)
+    stream = context.stream(cell.task, num_requests)
     if slo_target_ms is None:
         result = system.serve(stream)
     else:

@@ -27,6 +27,13 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 #: Identity of a cell: everything that affects the simulated result.
 CellKey = Tuple[str, str, str, Tuple[Tuple[str, object], ...]]
 
+#: Override key carrying a cell's simulated request count (its
+#: *fidelity*).  Consumed by the runner — the count reshapes the request
+#: stream instead of reaching the system constructor — but part of the
+#: cell identity: a low-fidelity rung cell and its full-fidelity twin
+#: are different simulations, so rung rows cache under their own keys.
+FIDELITY_OVERRIDE_KEY = "num_requests"
+
 
 @dataclass(frozen=True, slots=True)
 class SweepCell:
@@ -89,6 +96,32 @@ class SweepCell:
     def pinned(self) -> "SweepCell":
         """The same cell (identical identity), exempt from pruning."""
         return dataclasses.replace(self, pin=True)
+
+    def at_fidelity(self, num_requests: int) -> "SweepCell":
+        """A reduced-fidelity variant of this cell (a *different* identity).
+
+        The returned cell carries a :data:`FIDELITY_OVERRIDE_KEY`
+        override, so it simulates ``num_requests`` requests of the same
+        workload instead of the settings-derived count.  Tags and pin
+        ride along; the identity changes, which is what lets
+        successive-halving rung rows flow through the ordinary cache and
+        executor machinery without ever colliding with full-fidelity
+        results.
+        """
+        count = int(num_requests)
+        if count < 1:
+            raise ValueError("num_requests must be a positive request count")
+        overrides = dict(self.overrides)
+        overrides[FIDELITY_OVERRIDE_KEY] = count
+        return dataclasses.replace(self, overrides=tuple(sorted(overrides.items())))
+
+    @property
+    def fidelity(self) -> Optional[int]:
+        """The cell's request-count override, or None at full fidelity."""
+        for key, value in self.overrides:
+            if key == FIDELITY_OVERRIDE_KEY:
+                return int(value)  # type: ignore[call-overload]
+        return None
 
     def label(self) -> str:
         """Compact human-readable form used in logs and errors."""

@@ -11,8 +11,10 @@ remaining wall time go.  Three modes:
 * ``preredesign`` — the preserved pre-PR pipeline (scalar reference
   generation + heap-seeded monolithic loop) for before/after diffs;
 * ``sweep`` — a serial multi-system sweep over one (device, task)
-  pair, optionally two-stage (``--prune-fraction``), so the split
-  between surrogate scoring, shared profiling, and per-cell
+  pair, optionally two-stage (``--prune-fraction``) or guided through
+  the successive-halving ladder (``--halving-rungs`` /
+  ``--halving-keep-fraction``), so the split between surrogate
+  scoring, shared profiling, low-fidelity rungs, and per-cell
   simulation shows up in one stats table.
 
 Usage::
@@ -21,6 +23,7 @@ Usage::
     PYTHONPATH=src python tools/profile_engine.py --mode generation --reference
     PYTHONPATH=src python tools/profile_engine.py --mode serving --million --sort tottime
     PYTHONPATH=src python tools/profile_engine.py --mode sweep --prune-fraction 0.5
+    PYTHONPATH=src python tools/profile_engine.py --mode sweep --halving-rungs 2
 
 The profile prints to stdout; ``--output`` additionally dumps the raw
 stats for ``snakeviz``/``pstats`` post-processing.
@@ -119,9 +122,14 @@ _SWEEP_SYSTEMS = (
 )
 
 
-def _run_sweep(num_requests: int, prune_fraction: float) -> None:
+def _run_sweep(
+    num_requests: int,
+    prune_fraction: float,
+    halving_rungs=None,
+    halving_keep_fraction: float = 0.5,
+) -> None:
     from repro.experiments.base import EvaluationSettings
-    from repro.sweeps import SweepCell, SweepGrid, SweepRunner
+    from repro.sweeps import HalvingConfig, HalvingRunner, SweepCell, SweepGrid, SweepRunner
 
     settings = EvaluationSettings(
         full_scale=False,
@@ -135,7 +143,16 @@ def _run_sweep(num_requests: int, prune_fraction: float) -> None:
             for system in _SWEEP_SYSTEMS
         )
     )
-    SweepRunner(settings=settings, prune_fraction=prune_fraction).run(grid)
+    if halving_rungs is not None:
+        config = HalvingConfig(
+            rungs=halving_rungs,
+            keep_fraction=halving_keep_fraction,
+            # Keep the cheap rungs cheap relative to the clamped count.
+            min_requests=max(1, num_requests // 10),
+        )
+        HalvingRunner(settings=settings, config=config).run(grid)
+    else:
+        SweepRunner(settings=settings, prune_fraction=prune_fraction).run(grid)
 
 
 def main(argv=None) -> int:
@@ -154,6 +171,20 @@ def main(argv=None) -> int:
         type=float,
         default=0.0,
         help="sweep mode: surrogate-prune this fraction before simulating",
+    )
+    parser.add_argument(
+        "--halving-rungs",
+        type=int,
+        default=None,
+        help="sweep mode: run the grid through a successive-halving ladder "
+        "of this many simulated rungs instead of one-shot pruning",
+    )
+    parser.add_argument(
+        "--halving-keep-fraction",
+        type=float,
+        default=0.5,
+        help="sweep mode: fraction of each group kept at every halving "
+        "selection point (default: 0.5; requires --halving-rungs)",
     )
     parser.add_argument(
         "--million", action="store_true", help="shorthand for --requests 1000000"
@@ -182,7 +213,12 @@ def main(argv=None) -> int:
         # The sweep builds its own workloads; the request count is
         # clamped by the task definition, so pass something sweep-sized.
         num_requests = min(num_requests, 2_000)
-        target = lambda: _run_sweep(num_requests, args.prune_fraction)
+        target = lambda: _run_sweep(
+            num_requests,
+            args.prune_fraction,
+            halving_rungs=args.halving_rungs,
+            halving_keep_fraction=args.halving_keep_fraction,
+        )
     else:
         board, model = _build_case()
         if args.mode == "generation":
